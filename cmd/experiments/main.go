@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                  # every artifact at quick scale
+//	experiments -scale full      # full-scale reproduction (slow)
+//	experiments -fig fig4        # one artifact
+//	experiments -list            # show available artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "single artifact key (e.g. fig4, table1); empty = all")
+		scale = flag.String("scale", "quick", "experiment scale: bench|quick|full")
+		list  = flag.Bool("list", false, "list artifact keys")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range harness.Artifacts() {
+			fmt.Printf("%-8s %s\n", a.Key, a.Name)
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scale {
+	case "bench":
+		sc = harness.BenchScale()
+	case "quick":
+		sc = harness.QuickScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	r := harness.NewRunner(sc)
+
+	arts := harness.Artifacts()
+	if *fig != "" {
+		a, err := harness.ArtifactByKey(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v (try -list)\n", err)
+			os.Exit(2)
+		}
+		arts = []harness.Artifact{a}
+	}
+
+	fmt.Printf("reproducing %d artifact(s) at %s scale\n\n", len(arts), sc.Name)
+	for _, a := range arts {
+		start := time.Now()
+		tables, err := a.Run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", a.Name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,147 @@
+// Command pcc is the protean code compiler driver: it compiles a workload
+// from the application catalog into a protean (or plain) binary image.
+//
+// Usage:
+//
+//	pcc -app libquantum -o libquantum.pcb
+//	pcc -app libquantum -plain -o libquantum-plain.pcb
+//	pcc -input prog.ir -o prog.pcb      # compile textual IR
+//	pcc -app libquantum -dump-ir        # print the program's textual IR
+//	pcc -app libquantum -dump-asm       # print the lowered machine code
+//	pcc -list
+//	pcc -app soplex -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+	"repro/internal/ir/irtext"
+	"repro/internal/pcc"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application name from the catalog")
+		input    = flag.String("input", "", "textual IR file to compile (alternative to -app)")
+		out      = flag.String("o", "", "output file (default <app>.pcb)")
+		plain    = flag.Bool("plain", false, "compile without the protean pass")
+		policy   = flag.String("policy", "multi-block", "edge virtualization policy: multi-block|all-calls|no-edges")
+		stats    = flag.Bool("stats", false, "print compilation statistics instead of writing a file")
+		optimize = flag.Bool("O", false, "run the static optimization pipeline before lowering")
+		dumpIR   = flag.Bool("dump-ir", false, "print the program's textual IR and exit")
+		dumpAsm  = flag.Bool("dump-asm", false, "print the lowered machine code and exit")
+		list     = flag.Bool("list", false, "list catalog applications")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-16s %-14s %-22s %s\n", "NAME", "SUITE", "CLASS", "DESCRIPTION")
+		for _, s := range workload.Catalog() {
+			fmt.Printf("%-16s %-14s %-22s %s\n", s.Name, s.Suite, s.Class, s.Description)
+		}
+		return
+	}
+	var mod *ir.Module
+	var defaultName string
+	switch {
+	case *input != "":
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcc: %v\n", err)
+			os.Exit(1)
+		}
+		mod, err = irtext.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcc: %v\n", err)
+			os.Exit(1)
+		}
+		defaultName = mod.Name
+	case *app != "":
+		spec, ok := workload.ByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pcc: unknown application %q (try -list)\n", *app)
+			os.Exit(2)
+		}
+		mod = spec.Module()
+		defaultName = spec.Name
+	default:
+		fmt.Fprintln(os.Stderr, "pcc: -app or -input is required (or -list)")
+		os.Exit(2)
+	}
+
+	if *dumpIR {
+		if err := irtext.Print(os.Stdout, mod); err != nil {
+			fmt.Fprintf(os.Stderr, "pcc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var pol pcc.EdgePolicy
+	switch *policy {
+	case "multi-block":
+		pol = pcc.MultiBlockCallees
+	case "all-calls":
+		pol = pcc.AllCalls
+	case "no-edges":
+		pol = pcc.NoEdges
+	default:
+		fmt.Fprintf(os.Stderr, "pcc: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	bin, err := pcc.Compile(mod, pcc.Options{Protean: !*plain, Policy: pol, Optimize: *optimize})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *dumpAsm {
+		prog := bin.Program
+		for _, fi := range prog.Funcs {
+			fmt.Printf("%s:  ; [%d,%d) variant %d\n", fi.Name, fi.Entry, fi.End, fi.Variant)
+			for pc := fi.Entry; pc < fi.End; pc++ {
+				fmt.Printf("  %5d  %s\n", pc, prog.Code[pc])
+			}
+		}
+		for i, e := range prog.EVT {
+			fmt.Printf("evt[%d] = @%s -> %d\n", i, e.Callee, e.Target)
+		}
+		return
+	}
+
+	st := pcc.StatsOf(bin)
+	if *stats {
+		fmt.Printf("app:                %s\n", defaultName)
+		fmt.Printf("protean:            %v (policy %s)\n", !*plain, pol)
+		fmt.Printf("code words:         %d\n", st.CodeWords)
+		fmt.Printf("static loads:       %d\n", mod.NumLoads)
+		fmt.Printf("virtualized calls:  %d\n", st.VirtualizedCalls)
+		fmt.Printf("direct calls:       %d\n", st.DirectCalls)
+		fmt.Printf("EVT slots:          %d\n", st.EVTSlots)
+		fmt.Printf("embedded IR bytes:  %d (compressed)\n", st.IRBlobBytes)
+		return
+	}
+
+	path := *out
+	if path == "" {
+		path = defaultName + ".pcb"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcc: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if _, err := bin.WriteTo(f); err != nil {
+		fmt.Fprintf(os.Stderr, "pcc: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("pcc: wrote %s (%d code words, %d EVT slots, %d B IR)\n",
+		path, st.CodeWords, st.EVTSlots, st.IRBlobBytes)
+}

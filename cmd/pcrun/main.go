@@ -1,0 +1,113 @@
+// Command pcrun loads a compiled .pcb binary and executes it on the
+// simulated machine, reporting progress counters — the "run it" half of the
+// pcc → pcrun toolchain.
+//
+// Usage:
+//
+//	pcc -app libquantum -o lq.pcb
+//	pcrun lq.pcb -seconds 2
+//	pcrun lq.pcb -seconds 2 -stress 50ms   # with a recompilation stress runtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/progbin"
+)
+
+func main() {
+	var (
+		seconds = flag.Float64("seconds", 1.0, "simulated run duration")
+		stress  = flag.Duration("stress", 0, "attach a protean runtime recompiling random functions at this interval (0 = off)")
+		sameCPU = flag.Bool("same-core", false, "run the stress runtime on the host's core")
+		trace   = flag.Int("trace", 0, "dump the last N executed instructions at exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pcrun [flags] <binary.pcb>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+		os.Exit(1)
+	}
+	bin, err := progbin.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	m := machine.New(machine.Config{Cores: 2})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, TraceDepth: *trace})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	var rt *core.Runtime
+	if *stress > 0 {
+		runtimeCore := 1
+		if *sameCPU {
+			runtimeCore = core.SameCore
+		}
+		rt, err = core.Attach(m, p, core.Options{RuntimeCore: runtimeCore})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcrun: %v (compile with pcc without -plain for a protean binary)\n", err)
+			os.Exit(1)
+		}
+		m.AddAgent(rt)
+		m.AddAgent(core.NewStressRecompiler(rt, m.Cycles(stress.Seconds()), 1))
+	}
+
+	wall := time.Now()
+	m.RunSeconds(*seconds)
+	c := p.Counters()
+
+	secs := m.NowSeconds()
+	fmt.Printf("ran %q for %.2f simulated seconds (%.2fs wall)\n", p.Name(), secs, time.Since(wall).Seconds())
+	fmt.Printf("  instructions:  %12d  (%.3g /s)\n", c.Insts, float64(c.Insts)/secs)
+	fmt.Printf("  branches:      %12d  (%.3g /s)\n", c.Branches, float64(c.Branches)/secs)
+	fmt.Printf("  loads:         %12d\n", c.Loads)
+	fmt.Printf("  stores:        %12d\n", c.Stores)
+	fmt.Printf("  prefetches:    %12d\n", c.Prefetches)
+	fmt.Printf("  work units:    %12d\n", c.Completions)
+	s := m.Hierarchy().CoreStats(0)
+	fmt.Printf("  LLC accesses:  %12d  (miss rate %.1f%%)\n", s.LLCAccesses,
+		100*float64(s.LLCMisses)/float64(max64(s.LLCAccesses, 1)))
+	if rt != nil {
+		fmt.Printf("  recompiles:    %12d  (runtime used %.2f%% of server cycles, %d code-cache words)\n",
+			rt.Compiles(), rt.ServerCycleFraction()*100, rt.CodeCacheWords())
+	}
+	if *trace > 0 {
+		fmt.Printf("last %d executed instructions:\n", *trace)
+		for _, e := range p.Trace() {
+			fn := ""
+			if fi, ok := p.FuncAt(e.PC); ok {
+				fn = fi.Name
+				if fi.Variant > 0 {
+					fn = fmt.Sprintf("%s#v%d", fn, fi.Variant)
+				}
+			}
+			fmt.Printf("  cycle %12d  pc %6d  %s\n", e.Cycle, e.PC, fn)
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+// Datacenter scale: from per-server measurements to fleet impact.
+//
+// Measures the utilization PC3D recovers for the Table III workload mixes
+// against each CloudSuite webservice, then projects server requirements
+// and energy efficiency for a 10k-machine fleet (Figures 17 and 18).
+//
+// Run: go run ./examples/datacenter-scale
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	sc := harness.BenchScale()
+	r := harness.NewRunner(sc)
+
+	t3 := r.Table3()
+	t3.Render(os.Stdout)
+
+	f17, err := r.Figure17()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f17.Render(os.Stdout)
+
+	f18, err := r.Figure18()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f18.Render(os.Stdout)
+}

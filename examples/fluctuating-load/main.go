@@ -1,0 +1,27 @@
+// Fluctuating load: the Figure 16 scenario.
+//
+// Runs libquantum next to a request-driven web-search service whose
+// offered load is high, then low, then high again, with PC3D managing the
+// host. Prints the time series: PC3D searches for a hint variant during
+// high load, reverts to the original full-speed code when load drops, and
+// re-searches when load returns — while the service's QoS holds.
+//
+// Run: go run ./examples/fluctuating-load
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	sc := harness.QuickScale()
+	r := harness.NewRunner(sc)
+	t, err := r.Figure16()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Render(os.Stdout)
+}

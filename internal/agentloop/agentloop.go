@@ -1,0 +1,112 @@
+// Package agentloop adapts sequential policy code to the machine's
+// quantum-tick agent model.
+//
+// Policies like PC3D's greedy variant search (Algorithm 1) are naturally
+// sequential programs that interleave decisions with stretches of simulated
+// time ("dispatch variant, run 10 ms, measure, decide"). A Loop runs such a
+// policy on its own goroutine and hands control back and forth with the
+// machine's Tick callback synchronously, so the simulation stays fully
+// deterministic: exactly one of {machine, policy} runs at any moment.
+package agentloop
+
+import "repro/internal/machine"
+
+// Loop runs a sequential policy function as a machine.Agent.
+type Loop struct {
+	fn      func(*Loop)
+	tick    chan *machine.Machine
+	done    chan struct{}
+	started bool
+	closed  bool
+	holding bool
+}
+
+// New wraps a policy. The policy receives the Loop and must call Wait (or
+// a Wait* helper) to receive quantum ticks; when Wait returns nil the loop
+// is closing and the policy must return promptly.
+func New(fn func(*Loop)) *Loop {
+	return &Loop{fn: fn, tick: make(chan *machine.Machine), done: make(chan struct{})}
+}
+
+// Tick delivers one quantum to the policy and blocks until the policy
+// yields. Implements machine.Agent.
+func (l *Loop) Tick(m *machine.Machine) {
+	if l.closed {
+		return
+	}
+	if !l.started {
+		l.started = true
+		go l.run()
+	}
+	l.tick <- m
+	<-l.done
+}
+
+// Close shuts the policy down. Call only between machine quanta (never
+// from inside another agent's Tick for the same machine). Idempotent.
+func (l *Loop) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	if l.started {
+		close(l.tick)
+	}
+}
+
+func (l *Loop) run() {
+	l.fn(l)
+	l.release()
+	// The policy returned; keep absorbing ticks until Close.
+	for range l.tick {
+		l.done <- struct{}{}
+	}
+}
+
+func (l *Loop) release() {
+	if l.holding {
+		l.holding = false
+		l.done <- struct{}{}
+	}
+}
+
+// Wait yields until the next quantum and returns the machine, or nil when
+// the loop is closing.
+func (l *Loop) Wait() *machine.Machine {
+	l.release()
+	m, ok := <-l.tick
+	if !ok {
+		return nil
+	}
+	l.holding = true
+	return m
+}
+
+// WaitQuanta waits n quanta (n >= 1).
+func (l *Loop) WaitQuanta(n int) *machine.Machine {
+	var m *machine.Machine
+	for i := 0; i < n; i++ {
+		m = l.Wait()
+		if m == nil {
+			return nil
+		}
+	}
+	return m
+}
+
+// WaitCycles waits until at least n cycles of simulated time have passed
+// from the next observed tick.
+func (l *Loop) WaitCycles(n uint64) *machine.Machine {
+	m := l.Wait()
+	if m == nil {
+		return nil
+	}
+	target := m.Now() + n
+	for m.Now() < target {
+		m = l.Wait()
+		if m == nil {
+			return nil
+		}
+	}
+	return m
+}

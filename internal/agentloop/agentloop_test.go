@@ -1,0 +1,115 @@
+package agentloop
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestPolicySeesEveryQuantum(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 1})
+	var seen []uint64
+	l := New(func(l *Loop) {
+		for {
+			mm := l.Wait()
+			if mm == nil {
+				return
+			}
+			seen = append(seen, mm.Now())
+		}
+	})
+	m.AddAgent(l)
+	m.RunQuanta(5)
+	l.Close()
+	if len(seen) != 5 {
+		t.Fatalf("policy saw %d ticks, want 5", len(seen))
+	}
+	q := m.Config().QuantumCycles
+	for i, now := range seen {
+		if now != uint64(i+1)*q {
+			t.Errorf("tick %d at %d, want %d", i, now, uint64(i+1)*q)
+		}
+	}
+}
+
+func TestPolicyInterleavesWithMachine(t *testing.T) {
+	// The policy mutates state between quanta; the interleaving must be
+	// strictly synchronous (no data race, deterministic order).
+	m := machine.New(machine.Config{Cores: 1})
+	counter := 0
+	order := []int{}
+	l := New(func(l *Loop) {
+		for {
+			if l.Wait() == nil {
+				return
+			}
+			counter++
+			order = append(order, counter)
+		}
+	})
+	m.AddAgent(l)
+	m.AddAgent(machine.AgentFunc(func(*machine.Machine) {
+		order = append(order, -counter)
+	}))
+	m.RunQuanta(3)
+	l.Close()
+	want := []int{1, -1, 2, -2, 3, -3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitQuantaAndCycles(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 1})
+	q := m.Config().QuantumCycles
+	var atQuanta, atCycles uint64
+	l := New(func(l *Loop) {
+		mm := l.WaitQuanta(3)
+		if mm == nil {
+			return
+		}
+		atQuanta = mm.Now()
+		mm = l.WaitCycles(5 * q)
+		if mm == nil {
+			return
+		}
+		atCycles = mm.Now()
+		for l.Wait() != nil {
+		}
+	})
+	m.AddAgent(l)
+	m.RunQuanta(20)
+	l.Close()
+	if atQuanta != 3*q {
+		t.Errorf("WaitQuanta(3) returned at %d, want %d", atQuanta, 3*q)
+	}
+	if atCycles < 9*q || atCycles > 10*q {
+		t.Errorf("WaitCycles returned at %d, want ~%d", atCycles, 9*q)
+	}
+}
+
+func TestPolicyReturnEarly(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 1})
+	l := New(func(l *Loop) {
+		l.Wait() // take one tick and return
+	})
+	m.AddAgent(l)
+	m.RunQuanta(10) // must not deadlock
+	l.Close()
+}
+
+func TestCloseBeforeStartAndIdempotent(t *testing.T) {
+	l := New(func(l *Loop) {
+		for l.Wait() != nil {
+		}
+	})
+	l.Close()
+	l.Close()
+	// Tick after close is a no-op.
+	l.Tick(machine.New(machine.Config{Cores: 1}))
+}

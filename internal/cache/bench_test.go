@@ -1,0 +1,36 @@
+package cache
+
+import "testing"
+
+// BenchmarkCacheAccessHit measures the hot path: repeated hits in one set.
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 2 << 20, LineSize: 64, Assoc: 16, HitLatency: 30})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+// BenchmarkCacheAccessStream measures a miss-heavy streaming pattern.
+func BenchmarkCacheAccessStream(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 2 << 20, LineSize: 64, Assoc: 16, HitLatency: 30})
+	addr := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addr, false)
+		addr += 64
+	}
+}
+
+// BenchmarkHierarchyLoad measures a full L1→L2→LLC walk with mixed
+// hit/miss behaviour.
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchy(4))
+	addr := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(i&3, addr, i&7 == 0)
+		addr = (addr + 64) & (8<<20 - 1)
+	}
+}

@@ -1,0 +1,274 @@
+// Package cache implements the set-associative cache hierarchy the simulated
+// machine runs against.
+//
+// This is the substrate where the paper's mechanism acts: co-running
+// programs share the last-level cache, so a contentious program evicts a
+// sensitive program's lines and degrades its progress rate. Non-temporal
+// hints change how a program's fills are treated at the shared level —
+// bypassing allocation or inserting at LRU — which reduces the pressure it
+// exerts without (much) hurting itself, exactly the lever PC3D searches over.
+package cache
+
+import "fmt"
+
+// NTPolicy selects how a level treats non-temporal fills.
+type NTPolicy int
+
+// Non-temporal fill policies.
+const (
+	// NTIgnore treats NT accesses like ordinary ones (private levels keep
+	// NT lines: the data is still about to be used once).
+	NTIgnore NTPolicy = iota
+	// NTBypass does not allocate on an NT miss and demotes the line to LRU
+	// on an NT hit. This is the default shared-LLC policy and the strongest
+	// pressure reduction.
+	NTBypass
+	// NTDemote allocates NT fills at the LRU position instead of MRU, so
+	// they are the next victims. A gentler alternative used in ablations.
+	NTDemote
+)
+
+func (p NTPolicy) String() string {
+	switch p {
+	case NTIgnore:
+		return "ignore"
+	case NTBypass:
+		return "bypass"
+	case NTDemote:
+		return "demote"
+	}
+	return fmt.Sprintf("ntpolicy(%d)", int(p))
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name string
+	// SizeBytes must be a multiple of LineSize*Assoc.
+	SizeBytes int
+	LineSize  int
+	Assoc     int
+	// HitLatency is the cycles to serve a hit at this level.
+	HitLatency int
+	// NT selects the non-temporal fill policy.
+	NT NTPolicy
+}
+
+// Stats counts events at one level.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// NTBypassed counts NT misses that skipped allocation.
+	NTBypassed uint64
+	// NTDemoted counts NT fills or hits inserted/moved to LRU.
+	NTDemoted uint64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns the event-count delta s - prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses - prev.Accesses,
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		Evictions:  s.Evictions - prev.Evictions,
+		NTBypassed: s.NTBypassed - prev.NTBypassed,
+		NTDemoted:  s.NTDemoted - prev.NTDemoted,
+	}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	// stamp orders lines for LRU: higher = more recently used.
+	stamp uint64
+	// owner is the core that filled the line (occupancy attribution).
+	owner int8
+}
+
+// Cache is one set-associative level. Not safe for concurrent use; the
+// machine is single-threaded by design.
+type Cache struct {
+	cfg      Config
+	sets     []([]line)
+	numSets  uint64
+	lineBits uint
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache level. It panics on a malformed geometry (configs are
+// static test/bench fixtures, not user input).
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 || cfg.Assoc <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache %q: non-positive geometry %+v", cfg.Name, cfg))
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %q: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	if cfg.SizeBytes%(cfg.LineSize*cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache %q: size %d not divisible by line*assoc", cfg.Name, cfg.SizeBytes))
+	}
+	numSets := cfg.SizeBytes / (cfg.LineSize * cfg.Assoc)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, numSets),
+		numSets: uint64(numSets),
+	}
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> c.lineBits
+	return lineAddr % c.numSets, lineAddr / c.numSets
+}
+
+// Access performs a lookup, allocating on miss per the NT policy.
+// It returns whether the access hit and whether a valid line was evicted.
+func (c *Cache) Access(addr uint64, nt bool) (hit, evicted bool) {
+	return c.AccessBy(0, addr, nt)
+}
+
+// AccessBy is Access with fill-owner attribution: filled lines are tagged
+// with the requesting core so occupancy can be attributed per core — the
+// signal a shared-cache monitor (UMON-style) would expose.
+func (c *Cache) AccessBy(core int, addr uint64, nt bool) (hit, evicted bool) {
+	c.stats.Accesses++
+	c.clock++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.stats.Hits++
+			if nt && c.cfg.NT == NTBypass {
+				// Demote on NT hit: next victim in this set.
+				lines[i].stamp = 0
+				c.stats.NTDemoted++
+			} else {
+				lines[i].stamp = c.clock
+			}
+			return true, false
+		}
+	}
+	c.stats.Misses++
+	if nt && c.cfg.NT == NTBypass {
+		c.stats.NTBypassed++
+		return false, false
+	}
+	// Victim: invalid line if any, else lowest stamp.
+	victim := 0
+	var best uint64 = ^uint64(0)
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			best = 0
+			break
+		}
+		if lines[i].stamp < best {
+			best = lines[i].stamp
+			victim = i
+		}
+	}
+	if lines[victim].valid {
+		c.stats.Evictions++
+		evicted = true
+	}
+	stamp := c.clock
+	if nt && c.cfg.NT == NTDemote {
+		stamp = 0
+		c.stats.NTDemoted++
+	}
+	lines[victim] = line{tag: tag, valid: true, stamp: stamp, owner: int8(core)}
+	return false, evicted
+}
+
+// OccupancyByOwner counts valid lines per filling core (indices beyond the
+// slice length are ignored). A full-cache walk: measurement use only.
+func (c *Cache) OccupancyByOwner(counts []int) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	for s := range c.sets {
+		for _, l := range c.sets[s] {
+			if l.valid && int(l.owner) < len(counts) && l.owner >= 0 {
+				counts[l.owner]++
+			}
+		}
+	}
+}
+
+// Probe reports whether addr is resident without touching LRU state or
+// counters. Tests and occupancy measurements use it.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy counts valid lines whose addresses fall in [lo, hi). It walks
+// the whole cache; use it for measurements, not on hot paths.
+func (c *Cache) Occupancy(lo, hi uint64) int {
+	loLine, hiLine := lo>>c.lineBits, hi>>c.lineBits
+	n := 0
+	for s := uint64(0); s < c.numSets; s++ {
+		for _, l := range c.sets[s] {
+			if !l.valid {
+				continue
+			}
+			lineAddr := l.tag*c.numSets + s
+			if lineAddr >= loLine && lineAddr < hiLine {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidLines counts all valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.sets {
+		for _, l := range c.sets[s] {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

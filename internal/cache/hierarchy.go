@@ -1,0 +1,152 @@
+package cache
+
+import "fmt"
+
+// HierarchyConfig sizes a multicore cache hierarchy: a private L1 and L2
+// per core and one shared LLC.
+type HierarchyConfig struct {
+	Cores int
+	L1    Config
+	L2    Config
+	LLC   Config
+	// MemLatency is the cycles for a fill from memory.
+	MemLatency int
+}
+
+// DefaultHierarchy models a small quad-core part in the spirit of the
+// paper's AMD Phenom II X4 testbed: private 32 KiB L1 and 256 KiB L2,
+// shared 2 MiB LLC. The LLC is deliberately modest so the synthetic
+// workloads (working sets of a few MiB) contend the way SPEC-class
+// programs contend on a 6 MiB part.
+func DefaultHierarchy(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores:      cores,
+		L1:         Config{Name: "L1", SizeBytes: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 1, NT: NTIgnore},
+		L2:         Config{Name: "L2", SizeBytes: 256 << 10, LineSize: 64, Assoc: 8, HitLatency: 10, NT: NTIgnore},
+		LLC:        Config{Name: "LLC", SizeBytes: 2 << 20, LineSize: 64, Assoc: 16, HitLatency: 36, NT: NTBypass},
+		MemLatency: 220,
+	}
+}
+
+// CoreStats aggregates per-core shared-LLC activity, the signals the
+// runtime's extrospection reads ("cache misses or bandwidth usage",
+// Section III-B-3).
+type CoreStats struct {
+	LLCAccesses uint64
+	LLCMisses   uint64
+}
+
+// Hierarchy is the full multicore cache model. Not safe for concurrent use.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  []*Cache
+	llc *Cache
+	per []CoreStats
+}
+
+// NewHierarchy builds the hierarchy for cfg.Cores cores.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("cache: hierarchy with %d cores", cfg.Cores))
+	}
+	h := &Hierarchy{cfg: cfg, llc: New(cfg.LLC), per: make([]CoreStats, cfg.Cores)}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, New(cfg.L1))
+		h.l2 = append(h.l2, New(cfg.L2))
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Load walks the hierarchy for a read by core and returns the access
+// latency in cycles.
+func (h *Hierarchy) Load(core int, addr uint64, nt bool) int {
+	if hit, _ := h.l1[core].Access(addr, nt); hit {
+		return h.cfg.L1.HitLatency
+	}
+	if hit, _ := h.l2[core].Access(addr, nt); hit {
+		return h.cfg.L2.HitLatency
+	}
+	h.per[core].LLCAccesses++
+	if hit, _ := h.llc.AccessBy(core, addr, nt); hit {
+		return h.cfg.LLC.HitLatency
+	}
+	h.per[core].LLCMisses++
+	return h.cfg.MemLatency
+}
+
+// Store updates the hierarchy for a write-allocate write by core. The
+// returned latency models store-buffer absorption: stores cost their L1
+// time only, but still disturb cache contents at every level they miss.
+func (h *Hierarchy) Store(core int, addr uint64, nt bool) int {
+	if hit, _ := h.l1[core].Access(addr, nt); hit {
+		return 1
+	}
+	if hit, _ := h.l2[core].Access(addr, nt); hit {
+		return 1
+	}
+	h.per[core].LLCAccesses++
+	if hit, _ := h.llc.AccessBy(core, addr, nt); !hit {
+		h.per[core].LLCMisses++
+	}
+	return 1
+}
+
+// Prefetch warms the hierarchy for an upcoming access without stalling.
+// A non-temporal prefetch fills the private levels but is tagged NT at the
+// shared level (the prefetchnta contract).
+func (h *Hierarchy) Prefetch(core int, addr uint64, nt bool) {
+	if hit, _ := h.l1[core].Access(addr, nt); hit {
+		return
+	}
+	if hit, _ := h.l2[core].Access(addr, nt); hit {
+		return
+	}
+	h.per[core].LLCAccesses++
+	if hit, _ := h.llc.AccessBy(core, addr, nt); !hit {
+		h.per[core].LLCMisses++
+	}
+}
+
+// LLC exposes the shared level for occupancy measurements.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// L1 exposes core's private L1.
+func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
+
+// L2 exposes core's private L2.
+func (h *Hierarchy) L2(core int) *Cache { return h.l2[core] }
+
+// CoreStats returns a snapshot of core's shared-LLC counters.
+func (h *Hierarchy) CoreStats(core int) CoreStats { return h.per[core] }
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+	}
+	h.llc.Reset()
+	for i := range h.per {
+		h.per[i] = CoreStats{}
+	}
+}
+
+// LLCOccupancy returns each core's share of valid shared-LLC lines (by
+// fill attribution). A full-cache walk: use for periodic monitoring, not
+// hot paths.
+func (h *Hierarchy) LLCOccupancy() []int {
+	counts := make([]int, h.cfg.Cores)
+	h.llc.OccupancyByOwner(counts)
+	return counts
+}
+
+// FlushCore evicts core-private state (L1/L2), modelling the cold private
+// caches a program sees after a long nap. Shared LLC content is left alone.
+func (h *Hierarchy) FlushCore(core int) {
+	h.l1[core].Reset()
+	h.l2[core].Reset()
+}

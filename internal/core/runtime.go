@@ -1,0 +1,315 @@
+// Package core implements the protean code runtime — the dynamic half of
+// the co-designed system (Section III-B) and the paper's primary
+// contribution.
+//
+// The runtime attaches to a process prepared by pcc, discovers the embedded
+// metadata (EVT and compressed IR), sets up a code cache, and from then on
+// operates asynchronously: the host keeps executing its original code while
+// the runtime compiler generates variants from the IR; finished variants
+// are installed into the code cache and dispatched by rewriting an EVT slot
+// — one atomic write — so execution reroutes the next time control flows
+// through a virtualized edge.
+//
+// Asynchrony is modeled in simulated time: a compile job occupies the
+// runtime for a configurable number of simulated cycles (the LLVM backend's
+// ~5 ms per function). When the runtime shares the host's core, those
+// cycles are stolen from the host (Figure 6's "same core" case); on a
+// separate core they only consume otherwise-idle cycles (Figure 5).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/sampling"
+)
+
+// ErrNotProtean is returned when attaching to a process whose binary was
+// not compiled by the protean pass.
+var ErrNotProtean = errors.New("core: host binary is not protean (no embedded metadata)")
+
+// ErrNotVirtualized is returned when dispatching a variant of a function
+// that has no EVT slot.
+var ErrNotVirtualized = errors.New("core: function has no virtualized edges")
+
+// SameCore designates that the runtime shares the host's core.
+const SameCore = -1
+
+// Options configure a runtime instance.
+type Options struct {
+	// RuntimeCore is the core the runtime process occupies, or SameCore to
+	// share the host's core (compiles then steal host cycles). Using a
+	// separate core requires it to be otherwise idle.
+	RuntimeCore int
+	// CompileCycles is the simulated cost of compiling one function
+	// (default: 4 ms of simulated time).
+	CompileCycles uint64
+	// SampleInterval is the PC sampling period in cycles (default: 1 ms).
+	SampleInterval uint64
+	// MonitorCyclesPerTick accounts the monitoring cost (PC sample +
+	// counter reads) attributed to the runtime each sampling period
+	// (default 30; the paper's monitoring is sub-1%).
+	MonitorCyclesPerTick uint64
+}
+
+func (o Options) withDefaults(m *machine.Machine) Options {
+	ms := uint64(m.Config().FreqHz / 1000)
+	if o.CompileCycles == 0 {
+		o.CompileCycles = 4 * ms
+	}
+	if o.SampleInterval == 0 {
+		o.SampleInterval = ms
+	}
+	if o.MonitorCyclesPerTick == 0 {
+		o.MonitorCyclesPerTick = 30
+	}
+	return o
+}
+
+// Transform rewrites the cloned embedded IR before a variant is lowered.
+// It runs against a private clone, so it may mutate freely. Returning an
+// error aborts the job.
+type Transform func(m *ir.Module) error
+
+// Identity is the no-op transform (recompilation stress tests).
+func Identity(*ir.Module) error { return nil }
+
+// Variant is one runtime-generated code version of a function.
+type Variant struct {
+	// ID is unique per runtime, 1-based (0 is the original static code).
+	ID int
+	// Func is the transformed function.
+	Func string
+	// EntryPC is the variant's entry in the code cache.
+	EntryPC int
+	// Meta carries policy-defined data (PC3D stores the hint mask here).
+	Meta any
+}
+
+type compileJob struct {
+	fn        string
+	transform Transform
+	meta      any
+	onDone    func(*Variant, error)
+	finishAt  uint64
+}
+
+// Runtime is one protean runtime attached to one host process. It
+// implements machine.Agent; register it with the machine after creation.
+type Runtime struct {
+	m    *machine.Machine
+	host *machine.Process
+	opts Options
+
+	baseIR  *ir.Module
+	sampler *sampling.PCSampler
+
+	jobs      []compileJob
+	busyUntil uint64
+
+	variants   map[string][]*Variant
+	dispatched map[string]*Variant
+	nextID     int
+
+	compileCycles uint64 // total compiler cycles consumed
+	monitorCycles uint64 // total monitoring cycles consumed
+	compiles      uint64
+	dispatches    uint64
+	lastSample    uint64
+}
+
+// Attach creates a runtime for host: it discovers the program metadata
+// (decoding the embedded IR) and prepares the code cache bookkeeping —
+// the runtime-initialization step of Section III-B-1.
+func Attach(m *machine.Machine, host *machine.Process, opts Options) (*Runtime, error) {
+	if !host.Binary().Protean {
+		return nil, ErrNotProtean
+	}
+	baseIR, err := host.Binary().DecodeIR()
+	if err != nil {
+		return nil, fmt.Errorf("core: attach to %q: %w", host.Name(), err)
+	}
+	opts = opts.withDefaults(m)
+	rt := &Runtime{
+		m:          m,
+		host:       host,
+		opts:       opts,
+		baseIR:     baseIR,
+		sampler:    sampling.NewPCSampler(host, opts.SampleInterval),
+		variants:   make(map[string][]*Variant),
+		dispatched: make(map[string]*Variant),
+		nextID:     1,
+	}
+	return rt, nil
+}
+
+// Host returns the attached process.
+func (rt *Runtime) Host() *machine.Process { return rt.host }
+
+// IR returns the decoded embedded IR. Callers must not mutate it; variant
+// transforms receive clones.
+func (rt *Runtime) IR() *ir.Module { return rt.baseIR }
+
+// Sampler exposes the host PC sampler for policies.
+func (rt *Runtime) Sampler() *sampling.PCSampler { return rt.sampler }
+
+// Tick advances the runtime one quantum: takes PC samples, accounts
+// monitoring cost, and completes finished compile jobs.
+func (rt *Runtime) Tick(m *machine.Machine) {
+	rt.sampler.Tick(m)
+	now := m.Now()
+	if now-rt.lastSample >= rt.opts.SampleInterval {
+		rt.monitorCycles += rt.opts.MonitorCyclesPerTick
+		rt.lastSample = now
+	}
+	for len(rt.jobs) > 0 && rt.jobs[0].finishAt <= now {
+		job := rt.jobs[0]
+		rt.jobs = rt.jobs[1:]
+		v, err := rt.finishJob(job)
+		if job.onDone != nil {
+			job.onDone(v, err)
+		}
+	}
+}
+
+// PendingJobs reports queued-but-unfinished compiles.
+func (rt *Runtime) PendingJobs() int { return len(rt.jobs) }
+
+// RequestVariant queues an asynchronous compile of fn's IR under transform.
+// The compile occupies the runtime compiler for CompileCycles of simulated
+// time (stealing host cycles in same-core mode); when it completes, the
+// variant is installed into the code cache and onDone is invoked (nil
+// Variant on error). The host continues executing throughout.
+func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDone func(*Variant, error)) error {
+	if rt.baseIR.Func(fn) == nil {
+		return fmt.Errorf("core: request variant of unknown function %q", fn)
+	}
+	now := rt.m.Now()
+	start := now
+	if rt.busyUntil > start {
+		start = rt.busyUntil
+	}
+	finish := start + rt.opts.CompileCycles
+	rt.busyUntil = finish
+	rt.compileCycles += rt.opts.CompileCycles
+	rt.compiles++
+	if rt.opts.RuntimeCore == SameCore {
+		rt.host.StealCycles(rt.opts.CompileCycles)
+	}
+	rt.jobs = append(rt.jobs, compileJob{
+		fn: fn, transform: transform, meta: meta, onDone: onDone, finishAt: finish,
+	})
+	return nil
+}
+
+// finishJob does the actual work "after" the modeled compile latency:
+// clone the IR, transform, lower against the host program, install.
+func (rt *Runtime) finishJob(job compileJob) (*Variant, error) {
+	clone := rt.baseIR.Clone()
+	if err := job.transform(clone); err != nil {
+		return nil, fmt.Errorf("core: transform %q: %w", job.fn, err)
+	}
+	if err := clone.Finalize(); err != nil {
+		return nil, fmt.Errorf("core: transformed IR for %q invalid: %w", job.fn, err)
+	}
+	id := rt.nextID
+	rt.nextID++
+	vr, err := isa.LowerVariant(rt.host.Binary().Program, clone, job.fn, id, rt.host.CodeCursor())
+	if err != nil {
+		return nil, fmt.Errorf("core: lower variant of %q: %w", job.fn, err)
+	}
+	if err := isa.VerifyFragment(rt.host.Binary().Program, vr); err != nil {
+		return nil, fmt.Errorf("core: variant of %q failed verification: %w", job.fn, err)
+	}
+	if err := rt.host.InstallVariant(vr); err != nil {
+		return nil, fmt.Errorf("core: install variant of %q: %w", job.fn, err)
+	}
+	v := &Variant{ID: id, Func: job.fn, EntryPC: vr.Info.Entry, Meta: job.meta}
+	rt.variants[job.fn] = append(rt.variants[job.fn], v)
+	return v, nil
+}
+
+// Dispatch reroutes fn's virtualized edges to the variant — the EVT
+// manager's single atomic write.
+func (rt *Runtime) Dispatch(v *Variant) error {
+	slot := rt.host.EVT().SlotFor(v.Func)
+	if slot < 0 {
+		return fmt.Errorf("%w: %q", ErrNotVirtualized, v.Func)
+	}
+	rt.host.EVT().SetTarget(slot, v.EntryPC)
+	rt.dispatched[v.Func] = v
+	rt.dispatches++
+	return nil
+}
+
+// Revert points fn's virtualized edges back at the original static code.
+func (rt *Runtime) Revert(fn string) error {
+	slot := rt.host.EVT().SlotFor(fn)
+	if slot < 0 {
+		return fmt.Errorf("%w: %q", ErrNotVirtualized, fn)
+	}
+	fi, ok := rt.host.Binary().Program.FuncByName(fn)
+	if !ok {
+		return fmt.Errorf("core: revert %q: original entry unknown", fn)
+	}
+	rt.host.EVT().SetTarget(slot, fi.Entry)
+	delete(rt.dispatched, fn)
+	rt.dispatches++
+	return nil
+}
+
+// RevertAll restores every dispatched function to its original code.
+func (rt *Runtime) RevertAll() {
+	for fn := range rt.dispatched {
+		// Revert cannot fail here: fn was dispatched, so it has a slot and
+		// an original entry.
+		if err := rt.Revert(fn); err != nil {
+			panic(fmt.Sprintf("core: RevertAll: %v", err))
+		}
+	}
+}
+
+// Dispatched returns the currently dispatched variant of fn, or nil when
+// the original code is live.
+func (rt *Runtime) Dispatched(fn string) *Variant { return rt.dispatched[fn] }
+
+// Variants lists fn's generated variants in creation order.
+func (rt *Runtime) Variants(fn string) []*Variant { return rt.variants[fn] }
+
+// Compiles counts completed-or-queued compile requests.
+func (rt *Runtime) Compiles() uint64 { return rt.compiles }
+
+// Dispatches counts EVT rewrites.
+func (rt *Runtime) Dispatches() uint64 { return rt.dispatches }
+
+// CodeCacheWords returns how many instruction words of runtime-generated
+// variants have been installed into the host's code cache.
+func (rt *Runtime) CodeCacheWords() int {
+	return rt.host.CodeCursor() - len(rt.host.Binary().Program.Code)
+}
+
+// VariantCount returns how many variants exist across all functions.
+func (rt *Runtime) VariantCount() int {
+	n := 0
+	for _, vs := range rt.variants {
+		n += len(vs)
+	}
+	return n
+}
+
+// CyclesUsed returns the runtime's total consumed cycles (compiler plus
+// monitoring) — the numerator of Figure 7.
+func (rt *Runtime) CyclesUsed() uint64 { return rt.compileCycles + rt.monitorCycles }
+
+// ServerCycleFraction returns CyclesUsed over all server cycles so far
+// (cores × elapsed) — Figure 7's metric.
+func (rt *Runtime) ServerCycleFraction() float64 {
+	total := rt.m.Now() * uint64(rt.m.Config().Cores)
+	if total == 0 {
+		return 0
+	}
+	return float64(rt.CyclesUsed()) / float64(total)
+}

@@ -1,0 +1,131 @@
+// Package datacenter projects server-level measurements to warehouse
+// scale, reproducing the analyses of Section V-E: how many servers a
+// workload mix needs with and without PC3D-enabled co-location (Figure 17)
+// and the resulting energy efficiency (Figure 18).
+//
+// The model follows the paper: a fleet of N machines runs N instances of a
+// latency-sensitive webservice (one per machine, sized for its QoS target)
+// plus N batch-application instances drawn equally from a mix. A
+// PC3D-enabled fleet co-locates each batch instance with a webservice at
+// the utilization PC3D achieves; a no-co-location fleet must add dedicated
+// batch servers to reach the same batch throughput. Power uses the linear
+// CPU-utilization model the paper cites.
+package datacenter
+
+import "fmt"
+
+// Mix is one batch workload mix (Table III).
+type Mix struct {
+	Name string
+	// Apps are the batch applications, run in equal proportion.
+	Apps []string
+}
+
+// TableIII returns the paper's three scale-out mixes.
+func TableIII() []Mix {
+	return []Mix{
+		{Name: "WL1", Apps: []string{"libquantum", "bzip2", "sphinx3", "milc"}},
+		{Name: "WL2", Apps: []string{"soplex", "bst", "milc", "lbm"}},
+		{Name: "WL3", Apps: []string{"sledge", "soplex", "sphinx3", "libquantum"}},
+	}
+}
+
+// Utilizations maps batch app name → the utilization PC3D achieves for it
+// against a given webservice at a given QoS target (host BPS normalized to
+// solo), measured by the harness.
+type Utilizations map[string]float64
+
+// ScaleConfig parameterizes the projection.
+type ScaleConfig struct {
+	// BaseServers is the webservice fleet size (paper: 10k machines).
+	BaseServers int
+	// IdlePowerFraction is power draw at zero utilization relative to
+	// peak; the linear model interpolates to 1.0 at full utilization.
+	// Warehouse-scale servers idle at roughly half peak power.
+	IdlePowerFraction float64
+	// WebserviceUtil is each machine's CPU utilization devoted to the
+	// webservice itself (one core of four in the paper's setup).
+	WebserviceUtil float64
+}
+
+// DefaultScale mirrors the paper's analysis setup.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{BaseServers: 10000, IdlePowerFraction: 0.5, WebserviceUtil: 0.25}
+}
+
+// Result is the projection for one (webservice, mix) pair.
+type Result struct {
+	Webservice string
+	Mix        string
+	// PC3DServers is the fleet size with PC3D co-location (the base fleet;
+	// batch rides along).
+	PC3DServers int
+	// NoColoServers is the fleet size a no-co-location policy needs for
+	// equal webservice and batch throughput.
+	NoColoServers int
+	// ExtraServers = NoColoServers - PC3DServers.
+	ExtraServers int
+	// MeanBatchUtil is the mix's average PC3D utilization.
+	MeanBatchUtil float64
+	// EnergyEfficiencyRatio is PC3D work-per-Watt over no-co-location
+	// work-per-Watt (>1 means PC3D is more efficient).
+	EnergyEfficiencyRatio float64
+}
+
+// Project computes the scale-out result for one webservice and mix, given
+// per-app PC3D utilizations (fraction of a dedicated core's batch
+// throughput achieved while co-located).
+func Project(cfg ScaleConfig, webservice string, mix Mix, utils Utilizations) (Result, error) {
+	if len(mix.Apps) == 0 {
+		return Result{}, fmt.Errorf("datacenter: mix %q has no apps", mix.Name)
+	}
+	mean := 0.0
+	for _, app := range mix.Apps {
+		u, ok := utils[app]
+		if !ok {
+			return Result{}, fmt.Errorf("datacenter: no utilization for %q", app)
+		}
+		if u < 0 || u > 1.5 {
+			return Result{}, fmt.Errorf("datacenter: implausible utilization %.3f for %q", u, app)
+		}
+		mean += u
+	}
+	mean /= float64(len(mix.Apps))
+
+	n := cfg.BaseServers
+	// PC3D fleet: n machines run the webservice and deliver n×mean units
+	// of batch throughput alongside. The no-co-location fleet runs the
+	// webservice on n machines and needs dedicated batch servers for the
+	// same n×mean units; a dedicated server delivers 1 unit.
+	extra := int(float64(n)*mean + 0.5)
+	res := Result{
+		Webservice:    webservice,
+		Mix:           mix.Name,
+		PC3DServers:   n,
+		NoColoServers: n + extra,
+		ExtraServers:  extra,
+		MeanBatchUtil: mean,
+	}
+
+	// Energy: linear utilization model, P(u) = idle + (1-idle)·u of peak.
+	// Both fleets do the same total work (n webservice instances + n·mean
+	// batch units), so efficiency ratio = inverse power ratio.
+	pc3dPower := float64(n) * power(cfg, cfg.WebserviceUtil+(1-cfg.WebserviceUtil)*mean)
+	ncPower := float64(n)*power(cfg, cfg.WebserviceUtil) + float64(extra)*power(cfg, 1.0)
+	if pc3dPower > 0 {
+		res.EnergyEfficiencyRatio = ncPower / pc3dPower
+	}
+	return res, nil
+}
+
+// power returns draw relative to peak at utilization u under the linear
+// model.
+func power(cfg ScaleConfig, u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return cfg.IdlePowerFraction + (1-cfg.IdlePowerFraction)*u
+}

@@ -1,0 +1,101 @@
+package datacenter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testUtils() Utilizations {
+	return Utilizations{
+		"libquantum": 0.70, "bzip2": 0.95, "sphinx3": 0.80, "milc": 0.60,
+		"soplex": 0.55, "bst": 0.50, "lbm": 0.45, "sledge": 0.40,
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	mixes := TableIII()
+	if len(mixes) != 3 {
+		t.Fatalf("mixes = %d, want 3", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Apps) != 4 {
+			t.Errorf("%s has %d apps, want 4", m.Name, len(m.Apps))
+		}
+	}
+}
+
+func TestProjectServerCounts(t *testing.T) {
+	cfg := DefaultScale()
+	res, err := Project(cfg, "web-search", TableIII()[0], testUtils())
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if res.PC3DServers != 10000 {
+		t.Errorf("PC3DServers = %d", res.PC3DServers)
+	}
+	// WL1 mean util = (0.70+0.95+0.80+0.60)/4 = 0.7625 → 7625 extra.
+	if res.ExtraServers != 7625 {
+		t.Errorf("ExtraServers = %d, want 7625", res.ExtraServers)
+	}
+	if res.NoColoServers != 17625 {
+		t.Errorf("NoColoServers = %d, want 17625", res.NoColoServers)
+	}
+	if math.Abs(res.MeanBatchUtil-0.7625) > 1e-9 {
+		t.Errorf("MeanBatchUtil = %v", res.MeanBatchUtil)
+	}
+	// Paper reports 18–34% energy-efficiency improvements.
+	if res.EnergyEfficiencyRatio < 1.1 || res.EnergyEfficiencyRatio > 1.6 {
+		t.Errorf("EnergyEfficiencyRatio = %.3f, want ~1.2–1.4", res.EnergyEfficiencyRatio)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	cfg := DefaultScale()
+	if _, err := Project(cfg, "w", Mix{Name: "empty"}, testUtils()); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := Project(cfg, "w", Mix{Name: "m", Apps: []string{"ghost"}}, testUtils()); err == nil {
+		t.Error("missing utilization accepted")
+	}
+	if _, err := Project(cfg, "w", Mix{Name: "m", Apps: []string{"x"}}, Utilizations{"x": 9}); err == nil {
+		t.Error("implausible utilization accepted")
+	}
+}
+
+// Property: higher utilization ⇒ more extra servers needed without
+// co-location and at least as good an efficiency ratio.
+func TestProjectMonotonic(t *testing.T) {
+	cfg := DefaultScale()
+	prop := func(raw uint8) bool {
+		u1 := 0.1 + float64(raw%100)/200 // 0.1..0.6
+		u2 := u1 + 0.2
+		m := Mix{Name: "m", Apps: []string{"a"}}
+		r1, err1 := Project(cfg, "w", m, Utilizations{"a": u1})
+		r2, err2 := Project(cfg, "w", m, Utilizations{"a": u2})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.ExtraServers > r1.ExtraServers &&
+			r2.EnergyEfficiencyRatio >= r1.EnergyEfficiencyRatio-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerModelBounds(t *testing.T) {
+	cfg := DefaultScale()
+	if p := power(cfg, 0); p != cfg.IdlePowerFraction {
+		t.Errorf("power(0) = %v", p)
+	}
+	if p := power(cfg, 1); p != 1 {
+		t.Errorf("power(1) = %v", p)
+	}
+	if p := power(cfg, 2); p != 1 {
+		t.Errorf("power clamps above 1: %v", p)
+	}
+	if p := power(cfg, -1); p != cfg.IdlePowerFraction {
+		t.Errorf("power clamps below 0: %v", p)
+	}
+}

@@ -1,0 +1,60 @@
+package harness
+
+import "fmt"
+
+// FigureFunc produces one or more tables for a paper artifact.
+type FigureFunc func(r *Runner) ([]*Table, error)
+
+// Artifact names one reproducible table/figure.
+type Artifact struct {
+	Key  string // CLI selector, e.g. "fig4"
+	Name string // paper name
+	Run  FigureFunc
+}
+
+func one(f func(r *Runner) (*Table, error)) FigureFunc {
+	return func(r *Runner) ([]*Table, error) {
+		t, err := f(r)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Artifacts enumerates every table and figure of the evaluation, in paper
+// order.
+func Artifacts() []Artifact {
+	return []Artifact{
+		{Key: "table1", Name: "Table I", Run: func(r *Runner) ([]*Table, error) { return []*Table{r.Table1()}, nil }},
+		{Key: "fig2", Name: "Figure 2", Run: one((*Runner).Figure2)},
+		{Key: "fig3", Name: "Figure 3", Run: one((*Runner).Figure3)},
+		{Key: "fig4", Name: "Figure 4", Run: one((*Runner).Figure4)},
+		{Key: "fig5", Name: "Figure 5", Run: one((*Runner).Figure5)},
+		{Key: "fig6", Name: "Figure 6", Run: one((*Runner).Figure6)},
+		{Key: "fig7", Name: "Figure 7", Run: one((*Runner).Figure7)},
+		{Key: "fig8", Name: "Figure 8", Run: one((*Runner).Figure8)},
+		{Key: "table2", Name: "Table II", Run: func(r *Runner) ([]*Table, error) { return []*Table{r.Table2()}, nil }},
+		{Key: "fig9", Name: "Figure 9", Run: one(func(r *Runner) (*Table, error) { return r.Figure9to11("web-search") })},
+		{Key: "fig10", Name: "Figure 10", Run: one(func(r *Runner) (*Table, error) { return r.Figure9to11("media-streaming") })},
+		{Key: "fig11", Name: "Figure 11", Run: one(func(r *Runner) (*Table, error) { return r.Figure9to11("graph-analytics") })},
+		{Key: "fig12", Name: "Figure 12", Run: one(func(r *Runner) (*Table, error) { return r.Figure12to14("web-search") })},
+		{Key: "fig13", Name: "Figure 13", Run: one(func(r *Runner) (*Table, error) { return r.Figure12to14("media-streaming") })},
+		{Key: "fig14", Name: "Figure 14", Run: one(func(r *Runner) (*Table, error) { return r.Figure12to14("graph-analytics") })},
+		{Key: "fig15", Name: "Figure 15", Run: (*Runner).Figure15},
+		{Key: "fig16", Name: "Figure 16", Run: one((*Runner).Figure16)},
+		{Key: "table3", Name: "Table III", Run: func(r *Runner) ([]*Table, error) { return []*Table{r.Table3()}, nil }},
+		{Key: "fig17", Name: "Figure 17", Run: one((*Runner).Figure17)},
+		{Key: "fig18", Name: "Figure 18", Run: one((*Runner).Figure18)},
+	}
+}
+
+// ArtifactByKey finds an artifact by its CLI key.
+func ArtifactByKey(key string) (Artifact, error) {
+	for _, a := range Artifacts() {
+		if a.Key == key {
+			return a, nil
+		}
+	}
+	return Artifact{}, fmt.Errorf("harness: unknown artifact %q", key)
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/machine"
+	"repro/internal/progbin"
+)
+
+// runAlone executes a binary alone for the stress duration and returns its
+// branch count (the work-rate numerator shared by Figures 4–6). When
+// stressInterval > 0 a protean runtime is attached (on runtimeCore, or the
+// host's own core for core.SameCore) with a recompilation stress driver.
+func (r *Runner) runAlone(bin *progbin.Binary, dbtCfg *machine.DBTConfig, stressInterval float64, runtimeCore int) (uint64, error) {
+	m := machine.New(machine.Config{Cores: 4})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, DBT: dbtCfg})
+	if err != nil {
+		return 0, err
+	}
+	if stressInterval > 0 {
+		rt, err := core.Attach(m, p, core.Options{RuntimeCore: runtimeCore})
+		if err != nil {
+			return 0, err
+		}
+		m.AddAgent(rt)
+		s := core.NewStressRecompiler(rt, m.Cycles(stressInterval), 1)
+		m.AddAgent(s)
+	}
+	m.RunSeconds(0.3) // warm
+	c0 := p.Counters()
+	m.RunSeconds(r.sc.StressSeconds)
+	return p.Counters().Sub(c0).Branches, nil
+}
+
+// Figure4 reproduces Figure 4: the overhead of virtualizing execution with
+// protean code versus DynamoRIO, making no code modifications, per SPEC
+// application. Values are slowdown versus native (1.0 = free).
+func (r *Runner) Figure4() (*Table, error) {
+	t := &Table{
+		ID:      "Figure 4",
+		Title:   "Dynamic compiler overhead when making no code modifications (slowdown vs native)",
+		Columns: []string{"App", "protean code", "DynamoRIO"},
+	}
+	var sumP, sumD float64
+	apps := r.sc.specApps()
+	for _, app := range apps {
+		plain, err := r.binary(app, false)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := r.binary(app, true)
+		if err != nil {
+			return nil, err
+		}
+		native, err := r.runAlone(plain, nil, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		protean, err := r.runAlone(prot, nil, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		under, err := r.runAlone(plain, dbt.DynamoRIO(), 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(native) / float64(protean)
+		sd := float64(native) / float64(under)
+		sumP += sp
+		sumD += sd
+		t.AddRow(app, ratio(sp), ratio(sd))
+	}
+	n := float64(len(apps))
+	t.AddRow("Mean", ratio(sumP/n), ratio(sumD/n))
+	t.Notes = append(t.Notes, "paper: protean <1% mean overhead, DynamoRIO ~18% mean")
+	return t, nil
+}
+
+// Figure5 reproduces Figure 5: dynamic-compilation stress tests with the
+// runtime (and compiler) on a separate core, recompiling random functions
+// at decreasing intervals. Values are slowdown versus native.
+func (r *Runner) Figure5() (*Table, error) {
+	intervals := []float64{5.0, 0.5, 0.05, 0.005} // 5000/500/50/5 ms
+	t := &Table{
+		ID:      "Figure 5",
+		Title:   "Dynamic compilation stress tests; compilation on a separate core (slowdown vs native)",
+		Columns: []string{"App", "Edge virt.", "5000ms", "500ms", "50ms", "5ms"},
+	}
+	for _, app := range r.sc.specApps() {
+		plain, err := r.binary(app, false)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := r.binary(app, true)
+		if err != nil {
+			return nil, err
+		}
+		native, err := r.runAlone(plain, nil, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{app}
+		protean, err := r.runAlone(prot, nil, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, ratio(float64(native)/float64(protean)))
+		for _, iv := range intervals {
+			stressed, err := r.runAlone(prot, nil, iv, 2)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ratio(float64(native)/float64(stressed)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "paper: negligible overhead at every interval when compiling on a separate core")
+	return t, nil
+}
+
+// Figure6 reproduces Figure 6: the same stress tests comparing running the
+// runtime compiler on the host's own core versus a separate core, averaged
+// across the SPEC roster.
+func (r *Runner) Figure6() (*Table, error) {
+	intervals := []float64{0.005, 0.01, 0.05, 0.2, 1.0, 5.0}
+	t := &Table{
+		ID:      "Figure 6",
+		Title:   "Dynamic compilation stress on same vs separate core (mean slowdown vs native)",
+		Columns: []string{"Interval", "Same Core", "Separate Core"},
+	}
+	apps := r.sc.specApps()
+	for _, iv := range intervals {
+		var sumSame, sumSep float64
+		for _, app := range apps {
+			plain, err := r.binary(app, false)
+			if err != nil {
+				return nil, err
+			}
+			prot, err := r.binary(app, true)
+			if err != nil {
+				return nil, err
+			}
+			native, err := r.runAlone(plain, nil, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			same, err := r.runAlone(prot, nil, iv, core.SameCore)
+			if err != nil {
+				return nil, err
+			}
+			sep, err := r.runAlone(prot, nil, iv, 2)
+			if err != nil {
+				return nil, err
+			}
+			sumSame += float64(native) / float64(same)
+			sumSep += float64(native) / float64(sep)
+		}
+		n := float64(len(apps))
+		t.AddRow(fmt.Sprintf("%.0fms", iv*1000), ratio(sumSame/n), ratio(sumSep/n))
+	}
+	t.Notes = append(t.Notes,
+		"paper: same-core overhead significant at 5ms, negligible by 800ms; separate core always negligible")
+	return t, nil
+}
+
+// Figure7 reproduces Figure 7: the fraction of server cycles the PC3D
+// runtime consumes while managing each batch application (co-located with
+// web-search at a 95% QoS target; shares runs with Figure 9).
+func (r *Runner) Figure7() (*Table, error) {
+	t := &Table{
+		ID:      "Figure 7",
+		Title:   "Average fraction of server cycles consumed by the PC3D runtime",
+		Columns: []string{"App", "% of Server Cycles"},
+	}
+	for _, host := range r.sc.hosts() {
+		pr, err := r.RunPair(host, "web-search", SystemPC3D, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(host, pct(pr.RuntimeFrac))
+	}
+	t.Notes = append(t.Notes, "paper: below 1% in all cases (includes the initial variant-search burst)")
+	return t, nil
+}

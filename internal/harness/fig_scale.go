@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/datacenter"
+	"repro/internal/workload"
+)
+
+// Table3 reproduces Table III: the scale-out workload mixes.
+func (r *Runner) Table3() *Table {
+	t := &Table{
+		ID:      "Table III",
+		Title:   "Workload mixes for scale-out analysis",
+		Columns: []string{"Mix", "Applications"},
+	}
+	t.AddRow("LS", "web-search, graph-analytics, media-streaming")
+	for _, m := range datacenter.TableIII() {
+		apps := ""
+		for i, a := range m.Apps {
+			if i > 0 {
+				apps += ", "
+			}
+			apps += a
+		}
+		t.AddRow(m.Name, apps)
+	}
+	return t
+}
+
+// mixUtilizations gathers the PC3D utilizations (at a 95% QoS target
+// against the given webservice) for every app appearing in the Table III
+// mixes, reusing memoized pair runs.
+func (r *Runner) mixUtilizations(webservice string) (datacenter.Utilizations, error) {
+	apps := map[string]bool{}
+	for _, m := range datacenter.TableIII() {
+		for _, a := range m.Apps {
+			apps[a] = true
+		}
+	}
+	utils := datacenter.Utilizations{}
+	for a := range apps {
+		pr, err := r.RunPair(a, webservice, SystemPC3D, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		utils[a] = pr.Utilization
+	}
+	return utils, nil
+}
+
+// Figure17 reproduces Figure 17: servers required to run each
+// (webservice, mix) pair with PC3D co-location versus no co-location, for
+// a 10k-machine base fleet.
+func (r *Runner) Figure17() (*Table, error) {
+	t := &Table{
+		ID:      "Figure 17",
+		Title:   "Server count required to run workload mixes: PC3D vs no co-location",
+		Columns: []string{"Workload", "PC3D", "No Co-location", "Extra Servers"},
+	}
+	cfg := datacenter.DefaultScale()
+	for _, ws := range workload.Webservices() {
+		utils, err := r.mixUtilizations(ws)
+		if err != nil {
+			return nil, err
+		}
+		for _, mix := range datacenter.TableIII() {
+			res, err := datacenter.Project(cfg, ws, mix, utils)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%s/%s", ws, mix.Name),
+				fmt.Sprintf("%dk", res.PC3DServers/1000),
+				fmt.Sprintf("%.1fk", float64(res.NoColoServers)/1000),
+				fmt.Sprintf("%.1fk", float64(res.ExtraServers)/1000))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: 3.5k-8k extra servers needed without co-location")
+	return t, nil
+}
+
+// Figure18 reproduces Figure 18: datacenter energy efficiency of the
+// PC3D-enabled fleet normalized to the no-co-location fleet at equal
+// throughput.
+func (r *Runner) Figure18() (*Table, error) {
+	t := &Table{
+		ID:      "Figure 18",
+		Title:   "Normalized energy efficiency of workload mixes: PC3D vs no co-location",
+		Columns: []string{"Workload", "PC3D", "No Co-location", "Improvement"},
+	}
+	cfg := datacenter.DefaultScale()
+	for _, ws := range workload.Webservices() {
+		utils, err := r.mixUtilizations(ws)
+		if err != nil {
+			return nil, err
+		}
+		for _, mix := range datacenter.TableIII() {
+			res, err := datacenter.Project(cfg, ws, mix, utils)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%s/%s", ws, mix.Name),
+				fmt.Sprintf("%.2f", res.EnergyEfficiencyRatio), "1.00",
+				pct(res.EnergyEfficiencyRatio-1))
+		}
+	}
+	t.Notes = append(t.Notes, "paper: 18-34% energy-efficiency improvement across mixes")
+	return t, nil
+}

@@ -1,0 +1,141 @@
+package harness
+
+import "fmt"
+
+// Figure9to11 reproduces Figures 9, 10 and 11: the utilization PC3D
+// recovers for each batch application co-located with one webservice, at
+// QoS targets of 90/95/98%.
+func (r *Runner) Figure9to11(webservice string) (*Table, error) {
+	id := map[string]string{
+		"web-search":      "Figure 9",
+		"media-streaming": "Figure 10",
+		"graph-analytics": "Figure 11",
+	}[webservice]
+	if id == "" {
+		return nil, fmt.Errorf("harness: %q is not a Figure 9-11 webservice", webservice)
+	}
+	targets := r.sc.targets()
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Utilization of batch applications running with %s (PC3D)", webservice),
+		Columns: append([]string{"App"}, targetCols(targets)...),
+	}
+	var sums = make([]float64, len(targets))
+	hosts := r.sc.hosts()
+	for _, host := range hosts {
+		row := []any{host}
+		for i, tgt := range targets {
+			pr, err := r.RunPair(host, webservice, SystemPC3D, tgt)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(pr.Utilization))
+			sums[i] += pr.Utilization
+		}
+		t.AddRow(row...)
+	}
+	mean := []any{"Mean"}
+	for _, s := range sums {
+		mean = append(mean, pct(s/float64(len(hosts))))
+	}
+	t.AddRow(mean...)
+	t.Notes = append(t.Notes,
+		"paper means vs web-search: 81/67/49% at 90/95/98% targets; media-streaming is most sensitive")
+	return t, nil
+}
+
+// Figure12to14 reproduces Figures 12, 13 and 14: the QoS the webservice
+// actually receives during the same runs.
+func (r *Runner) Figure12to14(webservice string) (*Table, error) {
+	id := map[string]string{
+		"web-search":      "Figure 12",
+		"media-streaming": "Figure 13",
+		"graph-analytics": "Figure 14",
+	}[webservice]
+	if id == "" {
+		return nil, fmt.Errorf("harness: %q is not a Figure 12-14 webservice", webservice)
+	}
+	targets := r.sc.targets()
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("QoS of %s running with batch applications (PC3D)", webservice),
+		Columns: append([]string{"App"}, targetCols(targets)...),
+	}
+	for _, host := range r.sc.hosts() {
+		row := []any{host}
+		for _, tgt := range targets {
+			pr, err := r.RunPair(host, webservice, SystemPC3D, tgt)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(pr.QoS))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "paper: PC3D reliably meets its QoS targets")
+	return t, nil
+}
+
+// Figure15 reproduces Figure 15: PC3D versus ReQoS, averaged over the
+// spectrum of external co-runners — utilization improvement (a–c) and
+// achieved co-runner QoS for both systems (d–f), per QoS target.
+func (r *Runner) Figure15() ([]*Table, error) {
+	targets := r.sc.targets()
+	exts := r.sc.extSpectrum()
+	hosts := r.sc.hosts()
+
+	var tables []*Table
+	for _, tgt := range targets {
+		util := &Table{
+			ID:      fmt.Sprintf("Figure 15 (%d%% QoS tgt, utilization)", int(tgt*100+0.5)),
+			Title:   "PC3D utilization improvement over ReQoS (mean across the co-runner spectrum)",
+			Columns: []string{"App", "PC3D util", "ReQoS util", "PC3D/ReQoS"},
+		}
+		qost := &Table{
+			ID:      fmt.Sprintf("Figure 15 (%d%% QoS tgt, QoS)", int(tgt*100+0.5)),
+			Title:   "Average co-runner QoS under PC3D and ReQoS",
+			Columns: []string{"App", "PC3D QoS", "ReQoS QoS", "Target"},
+		}
+		var ratioSum, cnt float64
+		for _, host := range hosts {
+			var uP, uR, qP, qR float64
+			for _, ext := range exts {
+				prP, err := r.RunPair(host, ext, SystemPC3D, tgt)
+				if err != nil {
+					return nil, err
+				}
+				prR, err := r.RunPair(host, ext, SystemReQoS, tgt)
+				if err != nil {
+					return nil, err
+				}
+				uP += prP.Utilization
+				uR += prR.Utilization
+				qP += prP.QoS
+				qR += prR.QoS
+			}
+			n := float64(len(exts))
+			uP, uR, qP, qR = uP/n, uR/n, qP/n, qR/n
+			improvement := 0.0
+			if uR > 0 {
+				improvement = uP / uR
+			}
+			ratioSum += improvement
+			cnt++
+			util.AddRow(host, pct(uP), pct(uR), ratio(improvement))
+			qost.AddRow(host, pct(qP), pct(qR), pct(tgt))
+		}
+		util.AddRow("Mean", "", "", ratio(ratioSum/cnt))
+		util.Notes = append(util.Notes,
+			"paper means: 1.25x / 1.45x / 1.52x at 90/95/98% targets; max 2.84x (sphinx3 at 98%)")
+		tables = append(tables, util, qost)
+	}
+	return tables, nil
+}
+
+func targetCols(targets []float64) []string {
+	out := make([]string, len(targets))
+	for i, t := range targets {
+		out[i] = fmt.Sprintf("%d%% QoS tgt", int(t*100+0.5))
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+// Package harness reproduces the paper's evaluation: it wires workloads,
+// the protean runtime, PC3D, and the baselines into the co-location
+// experiments behind every table and figure, and renders the same rows and
+// series the paper reports.
+//
+// All experiments run through a Runner, which memoizes solo-rate
+// calibrations and pair results so figures that share underlying runs
+// (e.g. Figures 9–14, or Figures 15 and 17) measure once. A Scale selects
+// experiment durations: FullScale approximates the paper's coverage;
+// QuickScale and BenchScale shrink durations and rosters for fast test and
+// benchmark runs while preserving every experiment's shape.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/pc3d"
+	"repro/internal/phase"
+	"repro/internal/progbin"
+	"repro/internal/qos"
+	"repro/internal/reqos"
+	"repro/internal/workload"
+)
+
+// Scale selects experiment sizes.
+type Scale struct {
+	Name string
+	// SoloSeconds is the measurement window for solo calibrations (after a
+	// 0.5 s warmup).
+	SoloSeconds float64
+	// SettleSeconds precede steady-state measurement in co-location runs
+	// (covers PC3D's search).
+	SettleSeconds float64
+	// MeasureSeconds is the steady-state measurement window.
+	MeasureSeconds float64
+	// TraceSeconds is the Figure 16 experiment duration.
+	TraceSeconds float64
+	// StressSeconds is the duration of each Figure 4–6 overhead run.
+	StressSeconds float64
+	// MaxSites caps PC3D's search (0 = the paper's full search).
+	MaxSites int
+	// Hosts limits the batch-host roster (0 = all ten).
+	Hosts int
+	// Exts limits the Figure 15 co-runner spectrum (0 = all).
+	Exts int
+	// SPECApps limits the Figure 4–6 roster (0 = all eighteen).
+	SPECApps int
+	// Targets are the QoS targets swept (nil = the paper's 90/95/98%).
+	Targets []float64
+}
+
+// FullScale approximates the paper's experiment coverage.
+func FullScale() Scale {
+	return Scale{
+		Name: "full", SoloSeconds: 2, SettleSeconds: 8, MeasureSeconds: 2,
+		TraceSeconds: 90, StressSeconds: 2,
+	}
+}
+
+// QuickScale preserves every experiment's shape at reduced cost.
+func QuickScale() Scale {
+	return Scale{
+		Name: "quick", SoloSeconds: 1.5, SettleSeconds: 7, MeasureSeconds: 1.5,
+		TraceSeconds: 45, StressSeconds: 1, MaxSites: 10, Hosts: 5, Exts: 3, SPECApps: 8,
+	}
+}
+
+// BenchScale is the smallest shape-preserving configuration, used by the
+// bench_test.go harness.
+func BenchScale() Scale {
+	return Scale{
+		Name: "bench", SoloSeconds: 1, SettleSeconds: 5.5, MeasureSeconds: 1,
+		TraceSeconds: 30, StressSeconds: 0.5, MaxSites: 6, Hosts: 2, Exts: 2, SPECApps: 4,
+		Targets: []float64{0.95},
+	}
+}
+
+func (sc Scale) targets() []float64 {
+	if len(sc.Targets) > 0 {
+		return sc.Targets
+	}
+	return []float64{0.90, 0.95, 0.98}
+}
+
+func (sc Scale) hosts() []string {
+	h := workload.BatchHosts()
+	if sc.Hosts > 0 && sc.Hosts < len(h) {
+		return h[:sc.Hosts]
+	}
+	return h
+}
+
+func (sc Scale) specApps() []string {
+	a := workload.SPECFig4Apps()
+	if sc.SPECApps > 0 && sc.SPECApps < len(a) {
+		return a[:sc.SPECApps]
+	}
+	return a
+}
+
+// extSpectrum is the Figure 15 co-runner set: "the entire spectrum of
+// CloudSuite, SPEC and SmashBench co-runners" (Table II's external apps).
+func (sc Scale) extSpectrum() []string {
+	all := []string{
+		"web-search", "media-streaming", "graph-analytics",
+		"mcf", "omnetpp", "xalancbmk", "bst", "er-naive", "streamcluster",
+	}
+	if sc.Exts > 0 && sc.Exts < len(all) {
+		return all[:sc.Exts]
+	}
+	return all
+}
+
+// System selects the mitigation system of a co-location run.
+type System int
+
+// Mitigation systems.
+const (
+	// SystemNone co-locates with no mitigation.
+	SystemNone System = iota
+	// SystemPC3D runs the full protean runtime with the PC3D policy.
+	SystemPC3D
+	// SystemReQoS runs the reactive napping baseline.
+	SystemReQoS
+)
+
+func (s System) String() string {
+	switch s {
+	case SystemNone:
+		return "none"
+	case SystemPC3D:
+		return "PC3D"
+	case SystemReQoS:
+		return "ReQoS"
+	}
+	return fmt.Sprintf("system(%d)", int(s))
+}
+
+// SoloRates is a solo calibration of one app.
+type SoloRates struct {
+	IPS float64
+	BPS float64
+}
+
+// PairResult is the steady-state outcome of one co-location run.
+type PairResult struct {
+	Host   string
+	Ext    string
+	System System
+	Target float64
+	// Utilization is host BPS normalized to its solo (plain-binary) BPS.
+	Utilization float64
+	// QoS is the external app's true IPS normalized to its solo IPS,
+	// measured independently of the online monitors.
+	QoS float64
+	// RuntimeFrac is the protean runtime's share of server cycles
+	// (PC3D only).
+	RuntimeFrac float64
+	// PC3D holds controller stats (PC3D only).
+	PC3D pc3d.Stats
+}
+
+type pairKey struct {
+	host, ext string
+	system    System
+	target    float64
+}
+
+// Runner executes experiments with memoization.
+type Runner struct {
+	sc Scale
+
+	mu    sync.Mutex
+	solo  map[string]SoloRates
+	pairs map[pairKey]PairResult
+	bins  map[string]*progbin.Binary // compiled binaries, keyed name+mode
+}
+
+// NewRunner builds a runner at the given scale.
+func NewRunner(sc Scale) *Runner {
+	return &Runner{
+		sc:    sc,
+		solo:  make(map[string]SoloRates),
+		pairs: make(map[pairKey]PairResult),
+		bins:  make(map[string]*progbin.Binary),
+	}
+}
+
+// Scale returns the runner's scale.
+func (r *Runner) Scale() Scale { return r.sc }
+
+// binary compiles (and caches) an app in plain or protean mode.
+func (r *Runner) binary(name string, protean bool) (*progbin.Binary, error) {
+	key := name
+	if protean {
+		key += "+protean"
+	}
+	r.mu.Lock()
+	b := r.bins[key]
+	r.mu.Unlock()
+	if b != nil {
+		return b, nil
+	}
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown app %q", name)
+	}
+	var err error
+	if protean {
+		b, err = spec.CompileProtean()
+	} else {
+		b, err = spec.CompilePlain()
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.bins[key] = b
+	r.mu.Unlock()
+	return b, nil
+}
+
+// Solo measures (and caches) an app's interference-free IPS and BPS.
+func (r *Runner) Solo(name string) (SoloRates, error) {
+	r.mu.Lock()
+	if s, ok := r.solo[name]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	bin, err := r.binary(name, false)
+	if err != nil {
+		return SoloRates{}, err
+	}
+	m := machine.New(machine.Config{Cores: 4})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		return SoloRates{}, err
+	}
+	m.RunSeconds(0.5)
+	c0 := p.Counters()
+	m.RunSeconds(r.sc.SoloSeconds)
+	d := p.Counters().Sub(c0)
+	s := SoloRates{
+		IPS: float64(d.Insts) / r.sc.SoloSeconds,
+		BPS: float64(d.Branches) / r.sc.SoloSeconds,
+	}
+	r.mu.Lock()
+	r.solo[name] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// RunPair executes one co-location experiment: ext (high priority, plain)
+// on core 0, host on core 1, the protean runtime (PC3D only) on core 2.
+// Results are memoized per (host, ext, system, target).
+func (r *Runner) RunPair(host, ext string, system System, target float64) (PairResult, error) {
+	key := pairKey{host: host, ext: ext, system: system, target: target}
+	r.mu.Lock()
+	if pr, ok := r.pairs[key]; ok {
+		r.mu.Unlock()
+		return pr, nil
+	}
+	r.mu.Unlock()
+
+	extSolo, err := r.Solo(ext)
+	if err != nil {
+		return PairResult{}, err
+	}
+	hostSolo, err := r.Solo(host)
+	if err != nil {
+		return PairResult{}, err
+	}
+
+	m := machine.New(machine.Config{Cores: 4})
+	eb, err := r.binary(ext, false)
+	if err != nil {
+		return PairResult{}, err
+	}
+	ep, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		return PairResult{}, err
+	}
+	hb, err := r.binary(host, system == SystemPC3D)
+	if err != nil {
+		return PairResult{}, err
+	}
+	hp, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		return PairResult{}, err
+	}
+
+	flux := qos.NewFluxMonitor(m, hp, ep, 0, 0)
+	flux.ReferenceIPS = extSolo.IPS
+	m.AddAgent(flux)
+
+	var rt *core.Runtime
+	var ctrl *pc3d.Controller
+	switch system {
+	case SystemPC3D:
+		rt, err = core.Attach(m, hp, core.Options{RuntimeCore: 2})
+		if err != nil {
+			return PairResult{}, err
+		}
+		m.AddAgent(rt)
+		extSig := func(*machine.Machine) phase.Signature {
+			solo, _ := flux.SoloIPS()
+			return phase.Signature{Rate: solo}
+		}
+		ctrl = pc3d.New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ep}, extSig,
+			pc3d.Options{Target: target, MaxSites: r.sc.MaxSites})
+		defer ctrl.Close()
+		m.AddAgent(ctrl)
+	case SystemReQoS:
+		m.AddAgent(reqos.New(hp, flux, reqos.Options{Target: target}))
+	case SystemNone:
+		// No mitigation.
+	}
+
+	m.RunSeconds(r.sc.SettleSeconds)
+	e0, h0 := ep.Counters(), hp.Counters()
+	m.RunSeconds(r.sc.MeasureSeconds)
+	ed := ep.Counters().Sub(e0)
+	hd := hp.Counters().Sub(h0)
+
+	pr := PairResult{
+		Host: host, Ext: ext, System: system, Target: target,
+		Utilization: float64(hd.Branches) / r.sc.MeasureSeconds / hostSolo.BPS,
+		QoS:         float64(ed.Insts) / r.sc.MeasureSeconds / extSolo.IPS,
+	}
+	if rt != nil {
+		pr.RuntimeFrac = rt.ServerCycleFraction()
+	}
+	if ctrl != nil {
+		pr.PC3D = ctrl.Stats()
+	}
+	r.mu.Lock()
+	r.pairs[key] = pr
+	r.mu.Unlock()
+	return pr, nil
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows/series of one paper
+// table or figure.
+type Table struct {
+	// ID names the paper artifact ("Figure 4", "Table I", ...).
+	ID string
+	// Title is the artifact's caption.
+	Title string
+	// Columns are header labels.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes are printed under the table (methodology, paper reference
+	// values).
+	Notes []string
+}
+
+// AddRow appends a row of cells, formatting non-strings with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes an aligned ASCII table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+func ratio(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -1,0 +1,73 @@
+package ir
+
+import "testing"
+
+func benchModule() *Module {
+	mb := NewModuleBuilder("bench")
+	mb.Global("g", 1<<20)
+	for f := 0; f < 20; f++ {
+		fb := mb.Function("f" + string(rune('a'+f)))
+		fb.Loop(100, func() {
+			fb.Loop(50, func() {
+				for i := 0; i < 8; i++ {
+					fb.Load(Access{Global: "g", Pattern: Seq, Stride: 64})
+				}
+				fb.Work(4)
+			})
+		})
+		fb.Return()
+	}
+	main := mb.Function("main")
+	for f := 0; f < 20; f++ {
+		main.Call("f" + string(rune('a'+f)))
+	}
+	main.Return()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// BenchmarkEncode measures IR serialization+compression (what pcc does
+// when embedding the IR).
+func BenchmarkEncode(b *testing.B) {
+	m := benchModule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBytes(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures what the runtime pays at attach time.
+func BenchmarkDecode(b *testing.B) {
+	data, err := EncodeBytes(benchModule())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBytes(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClone measures the per-variant IR copy the runtime compiler
+// makes before each transform.
+func BenchmarkClone(b *testing.B) {
+	m := benchModule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Clone()
+	}
+}
+
+// BenchmarkLoopForest measures the loop analysis PC3D runs per function.
+func BenchmarkLoopForest(b *testing.B) {
+	m := benchModule()
+	f := m.Funcs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildLoopForest(f)
+	}
+}

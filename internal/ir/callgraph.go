@@ -1,0 +1,87 @@
+package ir
+
+import "sort"
+
+// CallEdge is one static call site.
+type CallEdge struct {
+	Caller string
+	Callee string
+	// Block is the index of the block containing the call in the caller.
+	Block int
+	// Pos is the instruction index of the call within the block.
+	Pos int
+}
+
+// CallGraph holds the static call graph of a module.
+type CallGraph struct {
+	Module *Module
+	Edges  []CallEdge
+	// Callees[f] lists distinct callee names of function f, sorted.
+	Callees map[string][]string
+	// Callers[f] lists distinct caller names of function f, sorted.
+	Callers map[string][]string
+}
+
+// BuildCallGraph scans every block for call instructions.
+func BuildCallGraph(m *Module) *CallGraph {
+	cg := &CallGraph{
+		Module:  m,
+		Callees: make(map[string][]string),
+		Callers: make(map[string][]string),
+	}
+	calleeSet := make(map[string]map[string]bool)
+	callerSet := make(map[string]map[string]bool)
+	for _, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			for pi, in := range b.Instrs {
+				call, ok := in.(*Call)
+				if !ok {
+					continue
+				}
+				cg.Edges = append(cg.Edges, CallEdge{Caller: f.Name, Callee: call.Callee, Block: bi, Pos: pi})
+				if calleeSet[f.Name] == nil {
+					calleeSet[f.Name] = make(map[string]bool)
+				}
+				calleeSet[f.Name][call.Callee] = true
+				if callerSet[call.Callee] == nil {
+					callerSet[call.Callee] = make(map[string]bool)
+				}
+				callerSet[call.Callee][f.Name] = true
+			}
+		}
+	}
+	for f, set := range calleeSet {
+		cg.Callees[f] = sortedKeys(set)
+	}
+	for f, set := range callerSet {
+		cg.Callers[f] = sortedKeys(set)
+	}
+	return cg
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReachableFrom returns the set of function names reachable from root
+// (including root) following static call edges.
+func (cg *CallGraph) ReachableFrom(root string) map[string]bool {
+	seen := map[string]bool{root: true}
+	stack := []string{root}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range cg.Callees[f] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}

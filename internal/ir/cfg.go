@@ -1,0 +1,146 @@
+package ir
+
+// CFG holds the control-flow graph of one function in dense index form.
+// Build it with BuildCFG after Module.Finalize has assigned block indices.
+type CFG struct {
+	Fn *Function
+	// Succs[i] lists successor block indices of block i.
+	Succs [][]int
+	// Preds[i] lists predecessor block indices of block i.
+	Preds [][]int
+	// RPO is a reverse postorder of reachable block indices starting at the
+	// entry block.
+	RPO []int
+	// RPONum[i] is the position of block i in RPO, or -1 if unreachable.
+	RPONum []int
+}
+
+// BuildCFG computes successor/predecessor lists and a reverse postorder.
+func BuildCFG(f *Function) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		Fn:     f,
+		Succs:  make([][]int, n),
+		Preds:  make([][]int, n),
+		RPONum: make([]int, n),
+	}
+	for i, b := range f.Blocks {
+		for _, s := range b.Term.Successors() {
+			c.Succs[i] = append(c.Succs[i], s.Index)
+			c.Preds[s.Index] = append(c.Preds[s.Index], i)
+		}
+	}
+	// Iterative postorder DFS from the entry block.
+	seen := make([]bool, n)
+	var post []int
+	type frame struct {
+		b    int
+		next int
+	}
+	if n > 0 {
+		stack := []frame{{b: 0}}
+		seen[0] = true
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.next < len(c.Succs[top.b]) {
+				s := c.Succs[top.b][top.next]
+				top.next++
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, frame{b: s})
+				}
+				continue
+			}
+			post = append(post, top.b)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	c.RPO = make([]int, len(post))
+	for i := range post {
+		c.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range c.RPONum {
+		c.RPONum[i] = -1
+	}
+	for pos, b := range c.RPO {
+		c.RPONum[b] = pos
+	}
+	return c
+}
+
+// Reachable reports whether block index b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.RPONum[b] >= 0 }
+
+// DomTree holds immediate dominators for a function's reachable blocks.
+type DomTree struct {
+	CFG *CFG
+	// IDom[i] is the immediate dominator block index of block i, or -1 for
+	// the entry block and unreachable blocks.
+	IDom []int
+}
+
+// BuildDomTree computes immediate dominators with the Cooper–Harvey–Kennedy
+// iterative algorithm over the reverse postorder.
+func BuildDomTree(c *CFG) *DomTree {
+	n := len(c.Fn.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return &DomTree{CFG: c, IDom: idom}
+	}
+	idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if idom[p] < 0 {
+					continue // predecessor not yet processed or unreachable
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = c.intersect(idom, p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[0] = -1
+	return &DomTree{CFG: c, IDom: idom}
+}
+
+func (c *CFG) intersect(idom []int, a, b int) int {
+	for a != b {
+		for c.RPONum[a] > c.RPONum[b] {
+			a = idom[a]
+		}
+		for c.RPONum[b] > c.RPONum[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (d *DomTree) Dominates(a, b int) bool {
+	if !d.CFG.Reachable(a) || !d.CFG.Reachable(b) {
+		return false
+	}
+	for b != a {
+		b = d.IDom[b]
+		if b < 0 {
+			return false
+		}
+	}
+	return true
+}

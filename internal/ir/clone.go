@@ -1,0 +1,82 @@
+package ir
+
+// Clone deep-copies the module. The runtime compiler clones the embedded IR
+// before applying a transformation so concurrent variant generations never
+// alias each other's instructions.
+func (m *Module) Clone() *Module {
+	out := &Module{
+		Name:        m.Name,
+		EntryFn:     m.EntryFn,
+		NumLoads:    m.NumLoads,
+		NumMemSites: m.NumMemSites,
+		Globals:     make([]*Global, len(m.Globals)),
+		Funcs:       make([]*Function, len(m.Funcs)),
+	}
+	for i, g := range m.Globals {
+		cp := *g
+		out.Globals[i] = &cp
+	}
+	for i, f := range m.Funcs {
+		out.Funcs[i] = f.Clone()
+	}
+	return out
+}
+
+// Clone deep-copies the function, remapping intra-function block references.
+func (f *Function) Clone() *Function {
+	out := &Function{Name: f.Name, MaxReg: f.MaxReg, Blocks: make([]*Block, len(f.Blocks))}
+	remap := make(map[*Block]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Index: b.Index, Instrs: make([]Instr, len(b.Instrs))}
+		out.Blocks[i] = nb
+		remap[b] = nb
+	}
+	for i, b := range f.Blocks {
+		nb := out.Blocks[i]
+		for j, in := range b.Instrs {
+			nb.Instrs[j] = cloneInstr(in)
+		}
+		nb.Term = cloneTerm(b.Term, remap)
+	}
+	return out
+}
+
+func cloneInstr(in Instr) Instr {
+	switch in := in.(type) {
+	case *BinOp:
+		cp := *in
+		return &cp
+	case *Const:
+		cp := *in
+		return &cp
+	case *Load:
+		cp := *in
+		return &cp
+	case *Store:
+		cp := *in
+		return &cp
+	case *Prefetch:
+		cp := *in
+		return &cp
+	case *Call:
+		cp := *in
+		return &cp
+	default:
+		panic("ir: unknown instruction type in clone")
+	}
+}
+
+func cloneTerm(t Terminator, remap map[*Block]*Block) Terminator {
+	switch t := t.(type) {
+	case *Jump:
+		return &Jump{Target: remap[t.Target]}
+	case *Branch:
+		return &Branch{X: t.X, Cmp: t.Cmp, Y: t.Y, True: remap[t.True], False: remap[t.False]}
+	case *Return:
+		return &Return{}
+	case nil:
+		return nil
+	default:
+		panic("ir: unknown terminator type in clone")
+	}
+}

@@ -1,0 +1,260 @@
+package ir
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The wire form flattens the in-memory pointer graph: blocks are referenced
+// by index, instructions by a tagged union. This mirrors what pcc does in
+// the paper — "serializes, compresses and places the intermediate
+// representation of the program into its data region" (Section III-A-2).
+
+type wireModule struct {
+	Name        string
+	EntryFn     string
+	NumLoads    int
+	NumMemSites int
+	Globals     []wireGlobal
+	Funcs       []wireFunc
+}
+
+type wireGlobal struct {
+	Name string
+	Size int64
+}
+
+type wireFunc struct {
+	Name   string
+	MaxReg int
+	Blocks []wireBlock
+}
+
+type wireBlock struct {
+	Name   string
+	Instrs []wireInstr
+	Term   wireTerm
+}
+
+// Instruction opcodes in the wire form.
+const (
+	wBin = iota
+	wConst
+	wLoad
+	wStore
+	wPrefetch
+	wCall
+)
+
+type wireInstr struct {
+	Op     int
+	Dst    Reg
+	BinOp  BinKind
+	X, Y   Operand
+	Value  int64
+	Acc    Access
+	LoadID int
+	MemID  int
+	Lead   int64
+	NT     bool
+	Callee string
+}
+
+// Terminator opcodes in the wire form.
+const (
+	wJump = iota
+	wBranch
+	wReturn
+)
+
+type wireTerm struct {
+	Op    int
+	X     Reg
+	Cmp   CmpKind
+	Y     Operand
+	True  int
+	False int
+}
+
+// Encode writes the module in serialized, zlib-compressed form.
+func Encode(w io.Writer, m *Module) error {
+	zw := zlib.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(toWire(m)); err != nil {
+		zw.Close()
+		return fmt.Errorf("ir: encode %q: %w", m.Name, err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("ir: encode %q: compress: %w", m.Name, err)
+	}
+	return nil
+}
+
+// EncodeBytes serializes and compresses the module to a byte slice.
+func EncodeBytes(m *Module) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reads a module encoded by Encode and rebuilds the pointer graph.
+func Decode(r io.Reader) (*Module, error) {
+	zr, err := zlib.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("ir: decode: decompress: %w", err)
+	}
+	defer zr.Close()
+	var wm wireModule
+	if err := gob.NewDecoder(zr).Decode(&wm); err != nil {
+		return nil, fmt.Errorf("ir: decode: %w", err)
+	}
+	return fromWire(&wm)
+}
+
+// DecodeBytes rebuilds a module from EncodeBytes output.
+func DecodeBytes(data []byte) (*Module, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+func toWire(m *Module) *wireModule {
+	wm := &wireModule{Name: m.Name, EntryFn: m.EntryFn, NumLoads: m.NumLoads, NumMemSites: m.NumMemSites}
+	for _, g := range m.Globals {
+		wm.Globals = append(wm.Globals, wireGlobal{Name: g.Name, Size: g.Size})
+	}
+	for _, f := range m.Funcs {
+		wf := wireFunc{Name: f.Name, MaxReg: f.MaxReg}
+		index := make(map[*Block]int, len(f.Blocks))
+		for i, b := range f.Blocks {
+			index[b] = i
+		}
+		for _, b := range f.Blocks {
+			wb := wireBlock{Name: b.Name}
+			for _, in := range b.Instrs {
+				wb.Instrs = append(wb.Instrs, toWireInstr(in))
+			}
+			wb.Term = toWireTerm(b.Term, index)
+			wf.Blocks = append(wf.Blocks, wb)
+		}
+		wm.Funcs = append(wm.Funcs, wf)
+	}
+	return wm
+}
+
+func toWireInstr(in Instr) wireInstr {
+	switch in := in.(type) {
+	case *BinOp:
+		return wireInstr{Op: wBin, Dst: in.Dst, BinOp: in.Op, X: in.X, Y: in.Y}
+	case *Const:
+		return wireInstr{Op: wConst, Dst: in.Dst, Value: in.Value}
+	case *Load:
+		return wireInstr{Op: wLoad, Dst: in.Dst, Acc: in.Acc, LoadID: in.ID, MemID: in.MemID, NT: in.NT}
+	case *Store:
+		return wireInstr{Op: wStore, X: in.Val, Acc: in.Acc, MemID: in.MemID}
+	case *Prefetch:
+		return wireInstr{Op: wPrefetch, Acc: in.Acc, NT: in.NT, MemID: in.MemID, Lead: in.Lead}
+	case *Call:
+		return wireInstr{Op: wCall, Callee: in.Callee}
+	default:
+		panic("ir: unknown instruction type in encode")
+	}
+}
+
+func toWireTerm(t Terminator, index map[*Block]int) wireTerm {
+	switch t := t.(type) {
+	case *Jump:
+		return wireTerm{Op: wJump, True: index[t.Target]}
+	case *Branch:
+		return wireTerm{Op: wBranch, X: t.X, Cmp: t.Cmp, Y: t.Y, True: index[t.True], False: index[t.False]}
+	case *Return:
+		return wireTerm{Op: wReturn}
+	default:
+		panic("ir: unknown terminator type in encode")
+	}
+}
+
+func fromWire(wm *wireModule) (*Module, error) {
+	m := &Module{Name: wm.Name, EntryFn: wm.EntryFn, NumLoads: wm.NumLoads, NumMemSites: wm.NumMemSites}
+	for _, g := range wm.Globals {
+		m.Globals = append(m.Globals, &Global{Name: g.Name, Size: g.Size})
+	}
+	for _, wf := range wm.Funcs {
+		f := &Function{Name: wf.Name, MaxReg: wf.MaxReg, Blocks: make([]*Block, len(wf.Blocks))}
+		for i := range wf.Blocks {
+			f.Blocks[i] = &Block{Name: wf.Blocks[i].Name, Index: i}
+		}
+		for i, wb := range wf.Blocks {
+			b := f.Blocks[i]
+			for _, wi := range wb.Instrs {
+				in, err := fromWireInstr(wi)
+				if err != nil {
+					return nil, fmt.Errorf("ir: decode %s.%s: %w", wf.Name, wb.Name, err)
+				}
+				b.Instrs = append(b.Instrs, in)
+			}
+			t, err := fromWireTerm(wb.Term, f.Blocks)
+			if err != nil {
+				return nil, fmt.Errorf("ir: decode %s.%s: %w", wf.Name, wb.Name, err)
+			}
+			b.Term = t
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func fromWireInstr(wi wireInstr) (Instr, error) {
+	switch wi.Op {
+	case wBin:
+		return &BinOp{Dst: wi.Dst, Op: wi.BinOp, X: wi.X, Y: wi.Y}, nil
+	case wConst:
+		return &Const{Dst: wi.Dst, Value: wi.Value}, nil
+	case wLoad:
+		return &Load{Dst: wi.Dst, Acc: wi.Acc, ID: wi.LoadID, MemID: wi.MemID, NT: wi.NT}, nil
+	case wStore:
+		return &Store{Val: wi.X, Acc: wi.Acc, MemID: wi.MemID}, nil
+	case wPrefetch:
+		return &Prefetch{Acc: wi.Acc, NT: wi.NT, MemID: wi.MemID, Lead: wi.Lead}, nil
+	case wCall:
+		return &Call{Callee: wi.Callee}, nil
+	default:
+		return nil, fmt.Errorf("unknown instruction opcode %d", wi.Op)
+	}
+}
+
+func fromWireTerm(wt wireTerm, blocks []*Block) (Terminator, error) {
+	get := func(i int) (*Block, error) {
+		if i < 0 || i >= len(blocks) {
+			return nil, fmt.Errorf("terminator target %d out of range", i)
+		}
+		return blocks[i], nil
+	}
+	switch wt.Op {
+	case wJump:
+		t, err := get(wt.True)
+		if err != nil {
+			return nil, err
+		}
+		return &Jump{Target: t}, nil
+	case wBranch:
+		tt, err := get(wt.True)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := get(wt.False)
+		if err != nil {
+			return nil, err
+		}
+		return &Branch{X: wt.X, Cmp: wt.Cmp, Y: wt.Y, True: tt, False: ft}, nil
+	case wReturn:
+		return &Return{}, nil
+	default:
+		return nil, fmt.Errorf("unknown terminator opcode %d", wt.Op)
+	}
+}

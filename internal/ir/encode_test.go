@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := buildDiamond(t)
+	data, err := EncodeBytes(m)
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	got, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	assertModulesEqual(t, m, got)
+}
+
+func TestEncodeIsCompressed(t *testing.T) {
+	// A module with many similar blocks must compress well below its
+	// uncompressed gob size; check it at least starts with the zlib header.
+	mb := NewModuleBuilder("big")
+	mb.Global("g", 1<<20)
+	fb := mb.Function("main")
+	for i := 0; i < 50; i++ {
+		fb.Loop(1000, func() {
+			fb.Load(Access{Global: "g", Pattern: Seq, Stride: 64})
+			fb.Work(5)
+		})
+	}
+	fb.Return()
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	data, err := EncodeBytes(m)
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	if len(data) < 2 || data[0] != 0x78 {
+		t.Errorf("encoded form does not look zlib-compressed (first byte %#x)", data[0])
+	}
+	// Round trip for good measure.
+	got, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	if got.NumLoads != m.NumLoads {
+		t.Errorf("NumLoads = %d, want %d", got.NumLoads, m.NumLoads)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBytes([]byte("not a module")); err == nil {
+		t.Fatal("DecodeBytes accepted garbage")
+	}
+	if _, err := DecodeBytes(nil); err == nil {
+		t.Fatal("DecodeBytes accepted empty input")
+	}
+}
+
+func TestDecodePreservesNTBits(t *testing.T) {
+	m := buildDiamond(t)
+	m.Loads()[1].NT = true
+	data, err := EncodeBytes(m)
+	if err != nil {
+		t.Fatalf("EncodeBytes: %v", err)
+	}
+	got, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	if got.Loads()[0].NT || !got.Loads()[1].NT {
+		t.Errorf("NT bits not preserved: %v %v", got.Loads()[0].NT, got.Loads()[1].NT)
+	}
+}
+
+// randomModule builds a random but valid module for property testing.
+func randomModule(rng *rand.Rand) *Module {
+	mb := NewModuleBuilder("prop")
+	mb.Global("a", 1+int64(rng.Intn(1<<16)))
+	mb.Global("b", 1+int64(rng.Intn(1<<16)))
+	globals := []string{"a", "b"}
+	nf := 1 + rng.Intn(4)
+	names := make([]string, nf)
+	for i := range names {
+		names[i] = "f" + string(rune('0'+i))
+	}
+	for i, name := range names {
+		fb := mb.Function(name)
+		depth := rng.Intn(3)
+		var emit func(d int)
+		emit = func(d int) {
+			nin := rng.Intn(4)
+			for j := 0; j < nin; j++ {
+				switch rng.Intn(4) {
+				case 0:
+					fb.Load(Access{
+						Global:  globals[rng.Intn(2)],
+						Pattern: Pattern(rng.Intn(4)),
+						Stride:  int64(rng.Intn(256)),
+					})
+				case 1:
+					fb.Store(Imm(int64(rng.Intn(100))), Access{Global: globals[rng.Intn(2)], Pattern: Rand})
+				case 2:
+					fb.Work(1 + rng.Intn(3))
+				default:
+					// Call a later-defined function to keep the graph acyclic.
+					if i+1 < nf {
+						fb.Call(names[i+1+rng.Intn(nf-i-1)])
+					} else {
+						fb.Work(1)
+					}
+				}
+			}
+			if d > 0 {
+				fb.Loop(int64(1+rng.Intn(10)), func() { emit(d - 1) })
+			}
+		}
+		emit(depth)
+		fb.Return()
+	}
+	mb.SetEntry(names[0])
+	return mb.MustBuild()
+}
+
+// Property: encode → decode is the identity on the wire-visible structure.
+func TestEncodeDecodeRandomModules(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModule(rng)
+		data, err := EncodeBytes(m)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBytes(data)
+		if err != nil {
+			return false
+		}
+		return modulesEqual(m, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding is deterministic.
+func TestEncodeDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModule(rng)
+		d1, err1 := EncodeBytes(m)
+		d2, err2 := EncodeBytes(m)
+		return err1 == nil && err2 == nil && bytes.Equal(d1, d2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertModulesEqual(t *testing.T, want, got *Module) {
+	t.Helper()
+	if !modulesEqual(want, got) {
+		t.Fatalf("modules differ after round trip:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func modulesEqual(a, b *Module) bool {
+	if a.Name != b.Name || a.EntryFn != b.EntryFn || a.NumLoads != b.NumLoads {
+		return false
+	}
+	if len(a.Globals) != len(b.Globals) || len(a.Funcs) != len(b.Funcs) {
+		return false
+	}
+	for i := range a.Globals {
+		if *a.Globals[i] != *b.Globals[i] {
+			return false
+		}
+	}
+	for i := range a.Funcs {
+		fa, fb := a.Funcs[i], b.Funcs[i]
+		if fa.Name != fb.Name || fa.MaxReg != fb.MaxReg || len(fa.Blocks) != len(fb.Blocks) {
+			return false
+		}
+		for j := range fa.Blocks {
+			ba, bb := fa.Blocks[j], fb.Blocks[j]
+			if ba.Name != bb.Name || len(ba.Instrs) != len(bb.Instrs) {
+				return false
+			}
+			for k := range ba.Instrs {
+				if !reflect.DeepEqual(ba.Instrs[k], bb.Instrs[k]) {
+					return false
+				}
+			}
+			if !termEqual(ba.Term, bb.Term) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func termEqual(a, b Terminator) bool {
+	switch ta := a.(type) {
+	case *Jump:
+		tb, ok := b.(*Jump)
+		return ok && ta.Target.Name == tb.Target.Name
+	case *Branch:
+		tb, ok := b.(*Branch)
+		return ok && ta.X == tb.X && ta.Cmp == tb.Cmp && ta.Y == tb.Y &&
+			ta.True.Name == tb.True.Name && ta.False.Name == tb.False.Name
+	case *Return:
+		_, ok := b.(*Return)
+		return ok
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs a function with an if/else diamond inside a loop:
+//
+//	entry -> header -> {left,right} -> join -> header (back edge) -> exit
+func buildDiamond(t *testing.T) *Module {
+	t.Helper()
+	mb := NewModuleBuilder("diamond")
+	mb.Global("g", 4096)
+	fb := mb.Function("main")
+	i := fb.Const(0)
+	header := fb.Block("header")
+	left := fb.Block("left")
+	right := fb.Block("right")
+	join := fb.Block("join")
+	exit := fb.Block("exit")
+	fb.Jump(header)
+
+	fb.SetBlock(header)
+	fb.Branch(i, Lt, Imm(10), left, exit)
+
+	fb.SetBlock(left)
+	fb.Load(Access{Global: "g", Pattern: Seq})
+	fb.Jump(join)
+
+	fb.SetBlock(right)
+	fb.Load(Access{Global: "g", Pattern: Rand})
+	fb.Jump(join)
+
+	fb.SetBlock(join)
+	fb.cur.Instrs = append(fb.cur.Instrs, &BinOp{Dst: i, Op: Add, X: R(i), Y: Imm(1)})
+	fb.Branch(i, Lt, Imm(5), header, right)
+
+	fb.SetBlock(exit)
+	fb.Return()
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestFinalizeAssignsLoadIDs(t *testing.T) {
+	m := buildDiamond(t)
+	if m.NumLoads != 2 {
+		t.Fatalf("NumLoads = %d, want 2", m.NumLoads)
+	}
+	loads := m.Loads()
+	for i, ld := range loads {
+		if ld == nil {
+			t.Fatalf("load %d missing", i)
+		}
+		if ld.ID != i {
+			t.Errorf("load %d has ID %d", i, ld.ID)
+		}
+	}
+	if loads[0].Acc.Pattern != Seq || loads[1].Acc.Pattern != Rand {
+		t.Errorf("load order not deterministic: %v then %v", loads[0].Acc.Pattern, loads[1].Acc.Pattern)
+	}
+}
+
+func TestFinalizeMaxReg(t *testing.T) {
+	m := buildDiamond(t)
+	f := m.Func("main")
+	if f.MaxReg < 3 {
+		t.Errorf("MaxReg = %d, want >= 3 (counter + two load dests)", f.MaxReg)
+	}
+}
+
+func TestLoadSites(t *testing.T) {
+	m := buildDiamond(t)
+	sites := m.LoadSites()
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites, want 2", len(sites))
+	}
+	if sites[0].Func.Name != "main" || sites[0].Block.Name != "left" {
+		t.Errorf("site 0 at %s.%s, want main.left", sites[0].Func.Name, sites[0].Block.Name)
+	}
+	if sites[1].Block.Name != "right" {
+		t.Errorf("site 1 in block %s, want right", sites[1].Block.Name)
+	}
+}
+
+func TestVerifyCatchesBadModules(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Module
+	}{
+		{"no entry function", func() *Module {
+			m := &Module{Name: "x", Funcs: []*Function{{Name: "f", Blocks: []*Block{{Name: "e", Term: &Return{}}}}}}
+			return m
+		}},
+		{"entry undefined", func() *Module {
+			m := &Module{Name: "x", EntryFn: "missing",
+				Funcs: []*Function{{Name: "f", Blocks: []*Block{{Name: "e", Term: &Return{}}}}}}
+			return m
+		}},
+		{"missing terminator", func() *Module {
+			return &Module{Name: "x", EntryFn: "f",
+				Funcs: []*Function{{Name: "f", Blocks: []*Block{{Name: "e"}}}}}
+		}},
+		{"undeclared global", func() *Module {
+			b := &Block{Name: "e", Instrs: []Instr{&Load{Acc: Access{Global: "nope"}}}, Term: &Return{}}
+			return &Module{Name: "x", EntryFn: "f", Funcs: []*Function{{Name: "f", Blocks: []*Block{b}}}}
+		}},
+		{"call to undefined function", func() *Module {
+			b := &Block{Name: "e", Instrs: []Instr{&Call{Callee: "ghost"}}, Term: &Return{}}
+			return &Module{Name: "x", EntryFn: "f", Funcs: []*Function{{Name: "f", Blocks: []*Block{b}}}}
+		}},
+		{"duplicate function", func() *Module {
+			f1 := &Function{Name: "f", Blocks: []*Block{{Name: "e", Term: &Return{}}}}
+			f2 := &Function{Name: "f", Blocks: []*Block{{Name: "e", Term: &Return{}}}}
+			return &Module{Name: "x", EntryFn: "f", Funcs: []*Function{f1, f2}}
+		}},
+		{"duplicate global", func() *Module {
+			return &Module{Name: "x", EntryFn: "f",
+				Globals: []*Global{{Name: "g", Size: 8}, {Name: "g", Size: 8}},
+				Funcs:   []*Function{{Name: "f", Blocks: []*Block{{Name: "e", Term: &Return{}}}}}}
+		}},
+		{"non-positive global size", func() *Module {
+			return &Module{Name: "x", EntryFn: "f",
+				Globals: []*Global{{Name: "g", Size: 0}},
+				Funcs:   []*Function{{Name: "f", Blocks: []*Block{{Name: "e", Term: &Return{}}}}}}
+		}},
+		{"cross-function branch target", func() *Module {
+			other := &Block{Name: "o", Term: &Return{}}
+			b := &Block{Name: "e", Term: &Jump{Target: other}}
+			return &Module{Name: "x", EntryFn: "f", Funcs: []*Function{
+				{Name: "f", Blocks: []*Block{b}},
+				{Name: "g", Blocks: []*Block{other}},
+			}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Verify()
+			if err == nil {
+				t.Fatal("Verify accepted an invalid module")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestVerifyAcceptsValidModule(t *testing.T) {
+	if err := buildDiamond(t).Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{&BinOp{Dst: 1, Op: Add, X: R(2), Y: Imm(3)}, "r1 = add r2, 3"},
+		{&Const{Dst: 0, Value: 42}, "r0 = const 42"},
+		{&Load{Dst: 4, ID: 7, Acc: Access{Global: "g", Pattern: Seq}}, "r4 = load #7 g[seq]"},
+		{&Load{Dst: 4, ID: 7, NT: true, Acc: Access{Global: "g", Pattern: Seq}}, "r4 = load #7 g[seq] !nt"},
+		{&Store{Val: Imm(1), Acc: Access{Global: "g", Pattern: Rand}}, "store 1, g[rand]"},
+		{&Prefetch{Acc: Access{Global: "g", Pattern: Chase}, NT: true}, "prefetch g[chase] !nt"},
+		{&Call{Callee: "f"}, "call @f"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestBuilderLoopShape(t *testing.T) {
+	mb := NewModuleBuilder("loops")
+	mb.Global("g", 1<<16)
+	fb := mb.Function("main")
+	fb.Loop(100, func() {
+		fb.Load(Access{Global: "g", Pattern: Seq})
+	})
+	fb.Return()
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lf := BuildLoopForest(m.Func("main"))
+	if lf.MaxDepth != 1 {
+		t.Fatalf("MaxDepth = %d, want 1", lf.MaxDepth)
+	}
+	if lf.NumLoops() != 1 {
+		t.Fatalf("NumLoops = %d, want 1", lf.NumLoops())
+	}
+}
+
+func TestBuilderNestedLoops(t *testing.T) {
+	mb := NewModuleBuilder("nest")
+	mb.Global("g", 1<<16)
+	fb := mb.Function("main")
+	var innerLoad, outerLoad Reg
+	fb.Loop(10, func() {
+		outerLoad = fb.Load(Access{Global: "g", Pattern: Rand})
+		fb.Loop(10, func() {
+			fb.Loop(10, func() {
+				innerLoad = fb.Load(Access{Global: "g", Pattern: Seq})
+			})
+		})
+	})
+	fb.Return()
+	mb.SetEntry("main")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	_ = innerLoad
+	_ = outerLoad
+	lf := BuildLoopForest(m.Func("main"))
+	if lf.MaxDepth != 3 {
+		t.Fatalf("MaxDepth = %d, want 3", lf.MaxDepth)
+	}
+	if got := lf.NumLoops(); got != 3 {
+		t.Fatalf("NumLoops = %d, want 3", got)
+	}
+	// The sequential load must be at depth 3, the random one at depth 1.
+	for _, site := range m.LoadSites() {
+		depth := lf.Depth(site.Block.Index)
+		switch site.Load.Acc.Pattern {
+		case Seq:
+			if depth != 3 {
+				t.Errorf("inner load at depth %d, want 3", depth)
+			}
+		case Rand:
+			if depth != 1 {
+				t.Errorf("outer load at depth %d, want 1", depth)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	m := buildDiamond(t)
+	c := m.Clone()
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	// Mutating the clone's load must not affect the original.
+	c.Loads()[0].NT = true
+	if m.Loads()[0].NT {
+		t.Error("mutating clone affected original")
+	}
+	// Clone block pointers must be distinct objects.
+	if m.Funcs[0].Blocks[0] == c.Funcs[0].Blocks[0] {
+		t.Error("clone shares block pointers with original")
+	}
+	// Terminator targets must point into the clone, not the original.
+	orig := map[*Block]bool{}
+	for _, b := range m.Funcs[0].Blocks {
+		orig[b] = true
+	}
+	for _, b := range c.Funcs[0].Blocks {
+		for _, s := range b.Term.Successors() {
+			if orig[s] {
+				t.Fatalf("clone terminator in %s targets a block of the original", b.Name)
+			}
+		}
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid module")
+		}
+	}()
+	mb := NewModuleBuilder("bad")
+	fb := mb.Function("f")
+	fb.Call("missing")
+	fb.Return()
+	mb.SetEntry("f")
+	mb.MustBuild()
+}
+
+func TestAccessString(t *testing.T) {
+	a := Access{Global: "buf", Pattern: Seq, Stride: 64}
+	if got := a.String(); !strings.Contains(got, "stride=64") || !strings.Contains(got, "buf[seq") {
+		t.Errorf("Access.String() = %q", got)
+	}
+}

@@ -1,0 +1,218 @@
+package irtext
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/workload"
+)
+
+const sample = `
+# A small demo program.
+module demo
+entry main
+
+global buf 65536
+global tab 4096
+
+func hot {
+  entry:
+    r0 = const 0
+    jump %loop
+  loop:
+    br r0 lt 100, %body, %done
+  body:
+    r1 = load buf[seq stride=64]
+    r2 = add r1, 5
+    store r2, tab[rand]
+    prefetch buf[seq stride=64] !nt
+    r0 = add r0, 1
+    jump %loop
+  done:
+    ret
+}
+
+func main {
+  entry:
+    call @hot
+    ret
+}
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "demo" || m.EntryFn != "main" {
+		t.Errorf("header wrong: %q %q", m.Name, m.EntryFn)
+	}
+	if len(m.Globals) != 2 || m.Globals[0].Size != 65536 {
+		t.Errorf("globals wrong: %+v", m.Globals)
+	}
+	hot := m.Func("hot")
+	if hot == nil || len(hot.Blocks) != 4 {
+		t.Fatalf("hot: %+v", hot)
+	}
+	if m.NumLoads != 1 {
+		t.Errorf("NumLoads = %d, want 1", m.NumLoads)
+	}
+	ld := m.Loads()[0]
+	if ld.Acc.Global != "buf" || ld.Acc.Pattern != ir.Seq || ld.Acc.Stride != 64 {
+		t.Errorf("load access = %+v", ld.Acc)
+	}
+	// The branch targets resolve within the function.
+	br, ok := hot.Blocks[1].Term.(*ir.Branch)
+	if !ok {
+		t.Fatalf("loop terminator = %T", hot.Blocks[1].Term)
+	}
+	if br.True.Name != "body" || br.False.Name != "done" {
+		t.Errorf("branch targets %q/%q", br.True.Name, br.False.Name)
+	}
+	// NT prefetch parsed.
+	foundNT := false
+	for _, in := range hot.Blocks[2].Instrs {
+		if pf, ok := in.(*ir.Prefetch); ok && pf.NT {
+			foundNT = true
+		}
+	}
+	if !foundNT {
+		t.Error("!nt prefetch lost")
+	}
+}
+
+func TestPrintParsePrintFixpoint(t *testing.T) {
+	m, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text1 := String(m)
+	m2, err := ParseString(text1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text1)
+	}
+	text2 := String(m2)
+	if text1 != text2 {
+		t.Errorf("print/parse not a fixpoint:\n--- first\n%s\n--- second\n%s", text1, text2)
+	}
+}
+
+func TestCatalogAppsRoundTrip(t *testing.T) {
+	// Every catalog app must survive print → parse → print.
+	for _, name := range []string{"libquantum", "soplex", "web-search", "gobmk"} {
+		m := workload.MustByName(name).Module()
+		text := String(m)
+		m2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if m2.NumLoads != m.NumLoads || len(m2.Funcs) != len(m.Funcs) {
+			t.Errorf("%s: structure changed: loads %d->%d funcs %d->%d",
+				name, m.NumLoads, m2.NumLoads, len(m.Funcs), len(m2.Funcs))
+		}
+		if String(m2) != text {
+			t.Errorf("%s: not a fixpoint", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"garbage", "module x\nentry f\nfunc f {\n e:\n   blah blah\n ret\n}\n", "cannot parse"},
+		{"nested func", "module x\nfunc a {\nfunc b {", "nested"},
+		{"instr outside block", "module x\nfunc f {\nret\n}", "outside a block"},
+		{"missing terminator", "module x\nentry f\nfunc f {\n a:\n  r0 = const 1\n b:\n  ret\n}", "no terminator"},
+		{"undefined block", "module x\nentry f\nfunc f {\n a:\n  jump %nope\n}", "undefined block"},
+		{"bad global", "module x\nglobal g big", "bad global size"},
+		{"bad register", "module x\nentry f\nfunc f {\n a:\n  rX = const 1\n  ret\n}", "bad register"},
+		{"unknown pattern", "module x\nentry f\nglobal g 8\nfunc f {\n a:\n  r0 = load g[zigzag]\n  ret\n}", "unknown pattern"},
+		{"unterminated func", "module x\nentry f\nfunc f {\n a:\n  ret\n", "unterminated"},
+		{"after terminator", "module x\nentry f\nfunc f {\n a:\n  ret\n  r0 = const 1\n}", "after terminator"},
+		{"call syntax", "module x\nentry f\nfunc f {\n a:\n  call f\n  ret\n}", "call wants"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatal("parse accepted bad input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString("module x\nentry f\nfunc f {\n a:\n  wat\n  ret\n}")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 5 {
+		t.Errorf("Line = %d, want 5", pe.Line)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# leading comment\n\nmodule x # trailing\nentry f\n\nfunc f {\n a:\n  ret # done\n}\n"
+	m, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "x" {
+		t.Errorf("name %q", m.Name)
+	}
+}
+
+// Property: random builder-generated modules round-trip through text.
+func TestRandomModulesRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mb := ir.NewModuleBuilder("prop")
+		mb.Global("g", 1+int64(rng.Intn(1<<20)))
+		fb := mb.Function("f")
+		var emit func(depth int)
+		emit = func(depth int) {
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				switch rng.Intn(4) {
+				case 0:
+					fb.Load(ir.Access{Global: "g", Pattern: ir.Pattern(rng.Intn(4)),
+						Stride: int64(rng.Intn(128)), HotBytes: int64(rng.Intn(8192))})
+				case 1:
+					fb.Store(ir.Imm(int64(rng.Intn(100))), ir.Access{Global: "g", Pattern: ir.Rand})
+				case 2:
+					fb.Work(1 + rng.Intn(3))
+				default:
+					fb.Prefetch(ir.Access{Global: "g", Pattern: ir.Seq}, rng.Intn(2) == 0)
+				}
+			}
+			if depth > 0 && rng.Intn(2) == 0 {
+				fb.Loop(int64(1+rng.Intn(8)), func() { emit(depth - 1) })
+			}
+		}
+		emit(2)
+		fb.Return()
+		mb.SetEntry("f")
+		m, err := mb.Build()
+		if err != nil {
+			return false
+		}
+		text := String(m)
+		m2, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		return String(m2) == text && m2.NumLoads == m.NumLoads && m2.NumMemSites == m.NumMemSites
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

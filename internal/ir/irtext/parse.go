@@ -1,0 +1,447 @@
+package irtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("irtext: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a module in the textual form produced by Print and finalizes
+// it (verifying structure and assigning IDs).
+func Parse(r io.Reader) (*ir.Module, error) {
+	p := &parser{m: &ir.Module{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		p.line++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.handle(line); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("irtext: read: %w", err)
+	}
+	if p.fn != nil {
+		return nil, p.errf("unterminated function %q", p.fn.Name)
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.m.Finalize(); err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	return p.m, nil
+}
+
+// ParseString parses a module from a string.
+func ParseString(s string) (*ir.Module, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type blockRef struct {
+	fn   *ir.Function
+	name string
+	line int
+	set  func(*ir.Block)
+}
+
+type parser struct {
+	m    *ir.Module
+	fn   *ir.Function
+	blk  *ir.Block
+	line int
+	refs []blockRef
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokenize splits on whitespace but keeps bracketed access expressions
+// ("buf[seq stride=64]") as single tokens; a trailing comma after a
+// bracket group stays attached, matching the other operand tokens.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '[':
+			depth++
+			cur.WriteRune(r)
+		case r == ']':
+			if depth > 0 {
+				depth--
+			}
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func (p *parser) handle(line string) error {
+	fields := tokenize(line)
+	switch {
+	case fields[0] == "module":
+		if len(fields) != 2 {
+			return p.errf("module wants one name")
+		}
+		p.m.Name = fields[1]
+	case fields[0] == "entry":
+		if len(fields) != 2 {
+			return p.errf("entry wants one function name")
+		}
+		p.m.EntryFn = fields[1]
+	case fields[0] == "global":
+		if len(fields) != 3 {
+			return p.errf("global wants a name and a size")
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return p.errf("bad global size %q", fields[2])
+		}
+		p.m.Globals = append(p.m.Globals, &ir.Global{Name: fields[1], Size: size})
+	case fields[0] == "func":
+		if p.fn != nil {
+			return p.errf("nested func")
+		}
+		if len(fields) != 3 || fields[2] != "{" {
+			return p.errf(`func wants "func <name> {"`)
+		}
+		p.fn = &ir.Function{Name: fields[1]}
+		p.m.Funcs = append(p.m.Funcs, p.fn)
+	case fields[0] == "}":
+		if p.fn == nil {
+			return p.errf("} outside a function")
+		}
+		if p.blk != nil && p.blk.Term == nil {
+			return p.errf("block %q has no terminator", p.blk.Name)
+		}
+		p.fn, p.blk = nil, nil
+	case strings.HasSuffix(fields[0], ":") && len(fields) == 1:
+		if p.fn == nil {
+			return p.errf("block label outside a function")
+		}
+		if p.blk != nil && p.blk.Term == nil {
+			return p.errf("block %q has no terminator", p.blk.Name)
+		}
+		p.blk = &ir.Block{Name: strings.TrimSuffix(fields[0], ":")}
+		p.fn.Blocks = append(p.fn.Blocks, p.blk)
+	default:
+		if p.blk == nil {
+			return p.errf("instruction outside a block")
+		}
+		if p.blk.Term != nil {
+			return p.errf("instruction after terminator in block %q", p.blk.Name)
+		}
+		return p.instr(fields)
+	}
+	return nil
+}
+
+func (p *parser) instr(fields []string) error {
+	join := strings.Join(fields, " ")
+	switch fields[0] {
+	case "jump":
+		if len(fields) != 2 {
+			return p.errf("jump wants one target")
+		}
+		name, err := p.blockName(fields[1])
+		if err != nil {
+			return err
+		}
+		t := &ir.Jump{}
+		p.defer2(name, func(b *ir.Block) { t.Target = b })
+		p.blk.Term = t
+	case "br":
+		// br rX cmp Y, %t, %f
+		if len(fields) != 6 {
+			return p.errf("br wants: br rX <cmp> <op>, %%t, %%f")
+		}
+		x, err := p.reg(fields[1])
+		if err != nil {
+			return err
+		}
+		cmp, err := parseCmp(fields[2])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		y, err := p.operand(strings.TrimSuffix(fields[3], ","))
+		if err != nil {
+			return err
+		}
+		tn, err := p.blockName(strings.TrimSuffix(fields[4], ","))
+		if err != nil {
+			return err
+		}
+		fn, err := p.blockName(fields[5])
+		if err != nil {
+			return err
+		}
+		t := &ir.Branch{X: x, Cmp: cmp, Y: y}
+		p.defer2(tn, func(b *ir.Block) { t.True = b })
+		p.defer2(fn, func(b *ir.Block) { t.False = b })
+		p.blk.Term = t
+	case "ret":
+		p.blk.Term = &ir.Return{}
+	case "store":
+		// store <op>, <access>
+		if len(fields) != 3 {
+			return p.errf("store wants: store <op>, <access>")
+		}
+		val, err := p.operand(strings.TrimSuffix(fields[1], ","))
+		if err != nil {
+			return err
+		}
+		acc, err := p.access(fields[2])
+		if err != nil {
+			return err
+		}
+		p.blk.Instrs = append(p.blk.Instrs, &ir.Store{Val: val, Acc: acc})
+	case "prefetch":
+		nt := false
+		var lead int64
+		rest := fields[1:]
+		for len(rest) > 1 {
+			last := rest[len(rest)-1]
+			switch {
+			case last == "!nt":
+				nt = true
+			case strings.HasPrefix(last, "lead="):
+				v, err := strconv.ParseInt(strings.TrimPrefix(last, "lead="), 10, 64)
+				if err != nil {
+					return p.errf("bad lead %q", last)
+				}
+				lead = v
+			default:
+				return p.errf("prefetch wants: prefetch <access> [lead=N] [!nt]")
+			}
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) != 1 {
+			return p.errf("prefetch wants: prefetch <access> [lead=N] [!nt]")
+		}
+		acc, err := p.access(rest[0])
+		if err != nil {
+			return err
+		}
+		p.blk.Instrs = append(p.blk.Instrs, &ir.Prefetch{Acc: acc, NT: nt, Lead: lead})
+	case "call":
+		if len(fields) != 2 || !strings.HasPrefix(fields[1], "@") {
+			return p.errf("call wants: call @<function>")
+		}
+		p.blk.Instrs = append(p.blk.Instrs, &ir.Call{Callee: fields[1][1:]})
+	default:
+		// rN = ...
+		if len(fields) < 3 || fields[1] != "=" {
+			return p.errf("cannot parse %q", join)
+		}
+		dst, err := p.reg(fields[0])
+		if err != nil {
+			return err
+		}
+		return p.assign(dst, fields[2:])
+	}
+	return nil
+}
+
+// access parses "<global>[pattern k=v ...]"; the bracket expression must
+// not contain spaces other than between parameters, so the caller passes
+// the whole bracketed token rejoined.
+func (p *parser) access(tok string) (ir.Access, error) {
+	open := strings.IndexByte(tok, '[')
+	if open < 0 || !strings.HasSuffix(tok, "]") {
+		return ir.Access{}, p.errf("bad access %q", tok)
+	}
+	a := ir.Access{Global: tok[:open]}
+	inner := strings.Fields(strings.ReplaceAll(tok[open+1:len(tok)-1], ",", " "))
+	if len(inner) == 0 {
+		return ir.Access{}, p.errf("access %q has no pattern", tok)
+	}
+	switch inner[0] {
+	case "seq":
+		a.Pattern = ir.Seq
+	case "rand":
+		a.Pattern = ir.Rand
+	case "chase":
+		a.Pattern = ir.Chase
+	case "hot":
+		a.Pattern = ir.Hot
+	default:
+		return ir.Access{}, p.errf("unknown pattern %q", inner[0])
+	}
+	for _, kv := range inner[1:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return ir.Access{}, p.errf("bad access parameter %q", kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return ir.Access{}, p.errf("bad access parameter value %q", kv)
+		}
+		switch parts[0] {
+		case "stride":
+			a.Stride = v
+		case "hot":
+			a.HotBytes = v
+		default:
+			return ir.Access{}, p.errf("unknown access parameter %q", parts[0])
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) assign(dst ir.Reg, rhs []string) error {
+	switch rhs[0] {
+	case "const":
+		if len(rhs) != 2 {
+			return p.errf("const wants one immediate")
+		}
+		v, err := strconv.ParseInt(rhs[1], 10, 64)
+		if err != nil {
+			return p.errf("bad immediate %q", rhs[1])
+		}
+		p.blk.Instrs = append(p.blk.Instrs, &ir.Const{Dst: dst, Value: v})
+	case "load":
+		nt := false
+		rest := rhs[1:]
+		if len(rest) > 0 && rest[len(rest)-1] == "!nt" {
+			nt = true
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) != 1 {
+			return p.errf("load wants: rN = load <access> [!nt]")
+		}
+		acc, err := p.access(rest[0])
+		if err != nil {
+			return err
+		}
+		p.blk.Instrs = append(p.blk.Instrs, &ir.Load{Dst: dst, Acc: acc, NT: nt})
+	default:
+		op, err := parseBin(rhs[0])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if len(rhs) != 3 {
+			return p.errf("binop wants: rN = <op> <x>, <y>")
+		}
+		x, err := p.operand(strings.TrimSuffix(rhs[1], ","))
+		if err != nil {
+			return err
+		}
+		y, err := p.operand(rhs[2])
+		if err != nil {
+			return err
+		}
+		p.blk.Instrs = append(p.blk.Instrs, &ir.BinOp{Dst: dst, Op: op, X: x, Y: y})
+	}
+	return nil
+}
+
+func (p *parser) reg(tok string) (ir.Reg, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, p.errf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return 0, p.errf("bad register %q", tok)
+	}
+	return ir.Reg(n), nil
+}
+
+func (p *parser) operand(tok string) (ir.Operand, error) {
+	if strings.HasPrefix(tok, "r") {
+		r, err := p.reg(tok)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.R(r), nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return ir.Operand{}, p.errf("bad operand %q", tok)
+	}
+	return ir.Imm(v), nil
+}
+
+func (p *parser) blockName(tok string) (string, error) {
+	if !strings.HasPrefix(tok, "%") {
+		return "", p.errf("expected %%block, got %q", tok)
+	}
+	return tok[1:], nil
+}
+
+func (p *parser) defer2(name string, set func(*ir.Block)) {
+	p.refs = append(p.refs, blockRef{fn: p.fn, name: name, line: p.line, set: set})
+}
+
+// resolve patches block references once all blocks exist.
+func (p *parser) resolve() error {
+	index := make(map[*ir.Function]map[string]*ir.Block, len(p.m.Funcs))
+	for _, f := range p.m.Funcs {
+		byName := make(map[string]*ir.Block, len(f.Blocks))
+		for _, b := range f.Blocks {
+			byName[b.Name] = b
+		}
+		index[f] = byName
+	}
+	for _, ref := range p.refs {
+		b := index[ref.fn][ref.name]
+		if b == nil {
+			return &ParseError{Line: ref.line, Msg: fmt.Sprintf("undefined block %%%s in function %q", ref.name, ref.fn.Name)}
+		}
+		ref.set(b)
+	}
+	return nil
+}
+
+func parseCmp(s string) (ir.CmpKind, error) {
+	for _, k := range []ir.CmpKind{ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown comparison %q", s)
+}
+
+func parseBin(s string) (ir.BinKind, error) {
+	for _, k := range []ir.BinKind{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown operation %q", s)
+}

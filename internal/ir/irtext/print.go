@@ -1,0 +1,135 @@
+// Package irtext provides a human-readable textual form of the IR, with a
+// printer and a parser that round-trip modules exactly. It is the
+// equivalent of LLVM's .ll assembly next to its bitcode: the gob form
+// (ir.Encode) travels inside binaries, while this form is for inspection,
+// tooling, and writing programs by hand.
+//
+// Grammar sketch (one construct per line; '#' starts a comment):
+//
+//	module <name>
+//	entry <function>
+//	global <name> <size-bytes>
+//	func <name> {
+//	  <block>:
+//	    r<N> = const <imm>
+//	    r<N> = <binop> <operand>, <operand>
+//	    r<N> = load <access> [!nt]
+//	    store <operand>, <access>
+//	    prefetch <access> [!nt]
+//	    call @<function>
+//	    jump %<block>
+//	    br r<N> <cmp> <operand>, %<block>, %<block>
+//	    ret
+//	}
+//
+// where <access> is <global>[<pattern> key=value ...] with patterns
+// seq|rand|chase|hot and optional stride=<n> / hot=<n> parameters, and
+// <operand> is r<N> or an integer literal.
+package irtext
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Print writes the module in textual form.
+func Print(w io.Writer, m *ir.Module) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	fmt.Fprintf(&b, "entry %s\n", m.EntryFn)
+	if len(m.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global %s %d\n", g.Name, g.Size)
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&b, "\nfunc %s {\n", f.Name)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "  %s:\n", blk.Name)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "    %s\n", formatInstr(in))
+			}
+			fmt.Fprintf(&b, "    %s\n", formatTerm(blk.Term))
+		}
+		b.WriteString("}\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the module to a string.
+func String(m *ir.Module) string {
+	var b strings.Builder
+	if err := Print(&b, m); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return b.String()
+}
+
+func formatOperand(o ir.Operand) string {
+	if o.IsReg {
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	return fmt.Sprintf("%d", o.Imm)
+}
+
+func formatAccess(a ir.Access) string {
+	var parts []string
+	parts = append(parts, a.Pattern.String())
+	if a.Stride != 0 {
+		parts = append(parts, fmt.Sprintf("stride=%d", a.Stride))
+	}
+	if a.HotBytes != 0 {
+		parts = append(parts, fmt.Sprintf("hot=%d", a.HotBytes))
+	}
+	return fmt.Sprintf("%s[%s]", a.Global, strings.Join(parts, " "))
+}
+
+func formatInstr(in ir.Instr) string {
+	switch in := in.(type) {
+	case *ir.Const:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Value)
+	case *ir.BinOp:
+		return fmt.Sprintf("r%d = %s %s, %s", in.Dst, in.Op, formatOperand(in.X), formatOperand(in.Y))
+	case *ir.Load:
+		nt := ""
+		if in.NT {
+			nt = " !nt"
+		}
+		return fmt.Sprintf("r%d = load %s%s", in.Dst, formatAccess(in.Acc), nt)
+	case *ir.Store:
+		return fmt.Sprintf("store %s, %s", formatOperand(in.Val), formatAccess(in.Acc))
+	case *ir.Prefetch:
+		nt := ""
+		if in.NT {
+			nt = " !nt"
+		}
+		lead := ""
+		if in.Lead != 0 {
+			lead = fmt.Sprintf(" lead=%d", in.Lead)
+		}
+		return fmt.Sprintf("prefetch %s%s%s", formatAccess(in.Acc), lead, nt)
+	case *ir.Call:
+		return fmt.Sprintf("call @%s", in.Callee)
+	default:
+		panic(fmt.Sprintf("irtext: unknown instruction %T", in))
+	}
+}
+
+func formatTerm(t ir.Terminator) string {
+	switch t := t.(type) {
+	case *ir.Jump:
+		return fmt.Sprintf("jump %%%s", t.Target.Name)
+	case *ir.Branch:
+		return fmt.Sprintf("br r%d %s %s, %%%s, %%%s",
+			t.X, t.Cmp, formatOperand(t.Y), t.True.Name, t.False.Name)
+	case *ir.Return:
+		return "ret"
+	default:
+		panic(fmt.Sprintf("irtext: unknown terminator %T", t))
+	}
+}

@@ -1,0 +1,174 @@
+package ir
+
+import "sort"
+
+// Loop is one natural loop discovered in a function's CFG.
+type Loop struct {
+	// Header is the block index of the loop header.
+	Header int
+	// Blocks lists the indices of all blocks in the loop body, including
+	// the header, in ascending order.
+	Blocks []int
+	// Depth is the nesting depth: 1 for an outermost loop, 2 for a loop
+	// nested inside one loop, and so on.
+	Depth int
+	// Parent is the enclosing loop, or nil for outermost loops.
+	Parent *Loop
+	// Children are the loops immediately nested inside this one.
+	Children []*Loop
+}
+
+// LoopForest holds all natural loops of one function.
+//
+// PC3D consumes exactly the information this analysis produces: which loads
+// live at the maximum nesting depth within each function (Section IV-C,
+// "Only Innermost Loops").
+type LoopForest struct {
+	Fn *Function
+	// Roots are the outermost loops.
+	Roots []*Loop
+	// BlockDepth[i] is the loop nesting depth of block i (0 = not in a loop).
+	BlockDepth []int
+	// MaxDepth is the maximum nesting depth in the function.
+	MaxDepth int
+}
+
+// BuildLoopForest finds natural loops via back edges (edge u->h where h
+// dominates u), merges loops sharing a header, and nests loops by body
+// containment.
+func BuildLoopForest(f *Function) *LoopForest {
+	cfg := BuildCFG(f)
+	dom := BuildDomTree(cfg)
+	n := len(f.Blocks)
+
+	// Collect loop bodies per header.
+	bodies := make(map[int]map[int]bool)
+	for u := 0; u < n; u++ {
+		if !cfg.Reachable(u) {
+			continue
+		}
+		for _, h := range cfg.Succs[u] {
+			if !dom.Dominates(h, u) {
+				continue
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				bodies[h] = body
+			}
+			// Walk backwards from u adding predecessors until the header.
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				for _, p := range cfg.Preds[b] {
+					if cfg.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(bodies))
+	for h, body := range bodies {
+		blocks := make([]int, 0, len(body))
+		for b := range body {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		loops = append(loops, &Loop{Header: h, Blocks: blocks})
+	}
+	// Sort by body size ascending so that nesting assignment sees inner
+	// loops before outer ones; ties broken by header for determinism.
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) < len(loops[j].Blocks)
+		}
+		return loops[i].Header < loops[j].Header
+	})
+
+	// Nest: the parent of loop L is the smallest strictly-larger loop whose
+	// body contains L's header.
+	sets := make([]map[int]bool, len(loops))
+	for i, l := range loops {
+		s := make(map[int]bool, len(l.Blocks))
+		for _, b := range l.Blocks {
+			s[b] = true
+		}
+		sets[i] = s
+	}
+	forest := &LoopForest{Fn: f, BlockDepth: make([]int, n)}
+	for i, l := range loops {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j].Header != l.Header && sets[j][l.Header] {
+				l.Parent = loops[j]
+				loops[j].Children = append(loops[j].Children, l)
+				break
+			}
+		}
+		if l.Parent == nil {
+			forest.Roots = append(forest.Roots, l)
+		}
+	}
+	sort.Slice(forest.Roots, func(i, j int) bool { return forest.Roots[i].Header < forest.Roots[j].Header })
+
+	// Assign depths top-down.
+	var assign func(l *Loop, d int)
+	assign = func(l *Loop, d int) {
+		l.Depth = d
+		if d > forest.MaxDepth {
+			forest.MaxDepth = d
+		}
+		sort.Slice(l.Children, func(i, j int) bool { return l.Children[i].Header < l.Children[j].Header })
+		for _, c := range l.Children {
+			assign(c, d+1)
+		}
+	}
+	for _, r := range forest.Roots {
+		assign(r, 1)
+	}
+
+	// Block depth = depth of the innermost loop containing the block.
+	// Iterating small-to-large and keeping the max works because inner
+	// loops are subsets of outer ones.
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			if l.Depth > forest.BlockDepth[b] {
+				forest.BlockDepth[b] = l.Depth
+			}
+		}
+	}
+	return forest
+}
+
+// Depth returns the nesting depth of the block index (0 = not in a loop).
+func (lf *LoopForest) Depth(block int) int { return lf.BlockDepth[block] }
+
+// AtMaxDepth reports whether the block sits at the function's maximum loop
+// nesting depth. For a function with no loops every block trivially
+// qualifies (MaxDepth 0 == depth 0), which matches the paper's heuristic:
+// the filter only prunes loads that provably sit outside the deepest loops.
+func (lf *LoopForest) AtMaxDepth(block int) bool {
+	return lf.BlockDepth[block] == lf.MaxDepth
+}
+
+// NumLoops counts all loops in the forest.
+func (lf *LoopForest) NumLoops() int {
+	n := 0
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		n++
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, r := range lf.Roots {
+		walk(r)
+	}
+	return n
+}

@@ -1,0 +1,290 @@
+// Package opt implements the static optimization passes pcc can apply
+// before lowering — the stand-in for the "-O2" compilation the paper uses
+// for all binaries.
+//
+// The pipeline is deliberately conservative: memory operations and calls
+// are never moved or removed (the workload catalog's timing behaviour
+// depends on them), and registers are only eliminated when provably dead
+// across the whole function. Passes run to a fixpoint:
+//
+//   - constant folding: block-local constant propagation through ALU ops,
+//     folding decidable conditional branches into jumps,
+//   - jump threading: empty forwarding blocks are bypassed,
+//   - unreachable-block elimination,
+//   - dead-code elimination of pure instructions whose results are never
+//     read.
+//
+// Optimization is opt-in at the pcc level: the synthetic workload catalog
+// encodes compute padding as dead ALU chains, which these passes would
+// rightly delete.
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// Stats counts what the pipeline did.
+type Stats struct {
+	FoldedOps      int
+	FoldedBranches int
+	ThreadedJumps  int
+	RemovedBlocks  int
+	RemovedInstrs  int
+	// Rounds is how many pipeline iterations ran before fixpoint.
+	Rounds int
+}
+
+func (s *Stats) add(o Stats) {
+	s.FoldedOps += o.FoldedOps
+	s.FoldedBranches += o.FoldedBranches
+	s.ThreadedJumps += o.ThreadedJumps
+	s.RemovedBlocks += o.RemovedBlocks
+	s.RemovedInstrs += o.RemovedInstrs
+}
+
+func (s Stats) changed() bool {
+	return s.FoldedOps+s.FoldedBranches+s.ThreadedJumps+s.RemovedBlocks+s.RemovedInstrs > 0
+}
+
+// Optimize runs the pipeline over every function to a fixpoint. The module
+// is mutated; the caller must re-run Module.Finalize afterwards. Block
+// indices are refreshed internally between passes.
+func Optimize(m *ir.Module) Stats {
+	var total Stats
+	for {
+		var round Stats
+		for _, f := range m.Funcs {
+			round.add(optimizeFunc(f))
+		}
+		total.Rounds++
+		if !round.changed() {
+			break
+		}
+		total.add(round)
+	}
+	return total
+}
+
+func optimizeFunc(f *ir.Function) Stats {
+	var s Stats
+	s.add(foldConstants(f))
+	s.add(threadJumps(f))
+	s.add(removeUnreachable(f))
+	s.add(eliminateDead(f))
+	return s
+}
+
+// foldConstants propagates constants within each block and folds ALU ops
+// and decidable branches. Propagation is block-local: a register's value
+// is only trusted between its definition and the block end.
+func foldConstants(f *ir.Function) Stats {
+	var s Stats
+	for _, b := range f.Blocks {
+		known := make(map[ir.Reg]int64)
+		lookup := func(o ir.Operand) (int64, bool) {
+			if !o.IsReg {
+				return o.Imm, true
+			}
+			v, ok := known[o.Reg]
+			return v, ok
+		}
+		for i, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Const:
+				known[in.Dst] = in.Value
+			case *ir.BinOp:
+				x, okx := lookup(in.X)
+				y, oky := lookup(in.Y)
+				if okx && oky {
+					v := evalBin(in.Op, x, y)
+					b.Instrs[i] = &ir.Const{Dst: in.Dst, Value: v}
+					known[in.Dst] = v
+					s.FoldedOps++
+				} else {
+					delete(known, in.Dst)
+				}
+			case *ir.Load:
+				delete(known, in.Dst)
+			}
+		}
+		if br, ok := b.Term.(*ir.Branch); ok {
+			if x, okx := known[br.X]; okx {
+				if y, oky := lookup(br.Y); oky {
+					target := br.False
+					if evalCmp(br.Cmp, x, y) {
+						target = br.True
+					}
+					b.Term = &ir.Jump{Target: target}
+					s.FoldedBranches++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// threadJumps redirects edges that pass through empty forwarding blocks
+// (no instructions, unconditional jump) straight to their targets.
+func threadJumps(f *ir.Function) Stats {
+	var s Stats
+	// forward returns the final destination of a chain of empty jumps.
+	forward := func(b *ir.Block) *ir.Block {
+		seen := map[*ir.Block]bool{}
+		for {
+			if seen[b] {
+				return b // jump cycle; leave it alone
+			}
+			seen[b] = true
+			if len(b.Instrs) != 0 {
+				return b
+			}
+			j, ok := b.Term.(*ir.Jump)
+			if !ok || j.Target == b {
+				return b
+			}
+			b = j.Target
+		}
+	}
+	for _, b := range f.Blocks {
+		switch t := b.Term.(type) {
+		case *ir.Jump:
+			if fwd := forward(t.Target); fwd != t.Target {
+				t.Target = fwd
+				s.ThreadedJumps++
+			}
+		case *ir.Branch:
+			if fwd := forward(t.True); fwd != t.True {
+				t.True = fwd
+				s.ThreadedJumps++
+			}
+			if fwd := forward(t.False); fwd != t.False {
+				t.False = fwd
+				s.ThreadedJumps++
+			}
+		}
+	}
+	return s
+}
+
+// removeUnreachable drops blocks not reachable from the entry.
+func removeUnreachable(f *ir.Function) Stats {
+	var s Stats
+	if len(f.Blocks) == 0 {
+		return s
+	}
+	reach := map[*ir.Block]bool{}
+	stack := []*ir.Block{f.Blocks[0]}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[b] {
+			continue
+		}
+		reach[b] = true
+		stack = append(stack, b.Term.Successors()...)
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			s.RemovedBlocks++
+		}
+	}
+	f.Blocks = kept
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+	return s
+}
+
+// eliminateDead removes pure instructions (Const, BinOp) whose destination
+// register is never read anywhere in the function.
+func eliminateDead(f *ir.Function) Stats {
+	var s Stats
+	read := map[ir.Reg]bool{}
+	markOp := func(o ir.Operand) {
+		if o.IsReg {
+			read[o.Reg] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.BinOp:
+				markOp(in.X)
+				markOp(in.Y)
+			case *ir.Store:
+				markOp(in.Val)
+			}
+		}
+		if br, ok := b.Term.(*ir.Branch); ok {
+			read[br.X] = true
+			markOp(br.Y)
+		}
+	}
+	for _, b := range f.Blocks {
+		var kept []ir.Instr
+		for _, in := range b.Instrs {
+			dead := false
+			switch in := in.(type) {
+			case *ir.Const:
+				dead = !read[in.Dst]
+			case *ir.BinOp:
+				dead = !read[in.Dst]
+			}
+			if dead {
+				s.RemovedInstrs++
+			} else {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+	return s
+}
+
+func evalBin(op ir.BinKind, x, y int64) int64 {
+	switch op {
+	case ir.Add:
+		return x + y
+	case ir.Sub:
+		return x - y
+	case ir.Mul:
+		return x * y
+	case ir.Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case ir.And:
+		return x & y
+	case ir.Or:
+		return x | y
+	case ir.Xor:
+		return x ^ y
+	case ir.Shl:
+		return x << (uint64(y) & 63)
+	case ir.Shr:
+		return int64(uint64(x) >> (uint64(y) & 63))
+	}
+	return 0
+}
+
+func evalCmp(op ir.CmpKind, x, y int64) bool {
+	switch op {
+	case ir.Eq:
+		return x == y
+	case ir.Ne:
+		return x != y
+	case ir.Lt:
+		return x < y
+	case ir.Le:
+		return x <= y
+	case ir.Gt:
+		return x > y
+	case ir.Ge:
+		return x >= y
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/progbin"
+)
+
+// dynCounts compiles and runs a module to completion (no restart) and
+// returns the memory-operation and completion counters — the observable
+// semantics optimization must preserve.
+func dynCounts(t *testing.T, m *ir.Module) machine.Counters {
+	t.Helper()
+	prog, err := isa.Lower(m, isa.Config{})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	bin := &progbin.Binary{Program: prog}
+	mm := machine.New(machine.Config{Cores: 1})
+	p, err := mm.Attach(0, bin, machine.ProcessOptions{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	for i := 0; i < 10000 && !p.Halted(); i++ {
+		mm.RunQuanta(10)
+	}
+	if !p.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return p.Counters()
+}
+
+func TestFoldConstantChain(t *testing.T) {
+	mb := ir.NewModuleBuilder("fold")
+	mb.Global("g", 64)
+	fb := mb.Function("main")
+	// Work emits r=1; r=r+1; r=r+2; ... — a pure constant chain whose
+	// result feeds a store (so folding applies but DCE must keep the tail).
+	r := fb.Const(1)
+	r = fb.Bin(ir.Add, ir.R(r), ir.Imm(2))
+	r = fb.Bin(ir.Mul, ir.R(r), ir.Imm(10))
+	fb.Store(ir.R(r), ir.Access{Global: "g", Pattern: ir.Rand})
+	fb.Return()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	s := Optimize(m)
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if s.FoldedOps != 2 {
+		t.Errorf("FoldedOps = %d, want 2", s.FoldedOps)
+	}
+	// The chain collapses to a single const feeding the store.
+	instrs := m.Func("main").Blocks[0].Instrs
+	if len(instrs) != 2 {
+		t.Fatalf("instrs = %d, want 2 (const + store): %v", len(instrs), instrs)
+	}
+	c, ok := instrs[0].(*ir.Const)
+	if !ok || c.Value != 30 {
+		t.Errorf("folded const = %v, want 30", instrs[0])
+	}
+}
+
+func TestFoldDeadGuardAndRemoveUnreachable(t *testing.T) {
+	// The workload generator's dead guard: br on a constant-zero register.
+	mb := ir.NewModuleBuilder("guard")
+	mb.Global("g", 4096)
+	cold := mb.Function("cold")
+	cold.Load(ir.Access{Global: "g", Pattern: ir.Rand})
+	cold.Return()
+	fb := mb.Function("main")
+	zero := fb.Const(0)
+	dead := fb.Block("dead")
+	cont := fb.Block("cont")
+	fb.Branch(zero, ir.Ne, ir.Imm(0), dead, cont)
+	fb.SetBlock(dead)
+	fb.Call("cold")
+	fb.Jump(cont)
+	fb.SetBlock(cont)
+	fb.Load(ir.Access{Global: "g", Pattern: ir.Seq, Stride: 64})
+	fb.Return()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	s := Optimize(m)
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if s.FoldedBranches != 1 {
+		t.Errorf("FoldedBranches = %d, want 1", s.FoldedBranches)
+	}
+	if s.RemovedBlocks == 0 {
+		t.Error("dead-guard block survived")
+	}
+	main := m.Func("main")
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && c.Callee == "cold" {
+				t.Error("call to cold code survived optimization")
+			}
+		}
+	}
+	if m.NumLoads != 2 {
+		// cold's load remains (the function itself is kept; only the call
+		// site died), main's load remains.
+		t.Errorf("NumLoads = %d, want 2", m.NumLoads)
+	}
+}
+
+func TestThreadJumps(t *testing.T) {
+	mb := ir.NewModuleBuilder("thread")
+	mb.Global("g", 64)
+	fb := mb.Function("main")
+	hop1 := fb.Block("hop1")
+	hop2 := fb.Block("hop2")
+	final := fb.Block("final")
+	fb.Jump(hop1)
+	fb.SetBlock(hop1)
+	fb.Jump(hop2)
+	fb.SetBlock(hop2)
+	fb.Jump(final)
+	fb.SetBlock(final)
+	fb.Return()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	s := Optimize(m)
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if s.ThreadedJumps == 0 || s.RemovedBlocks != 2 {
+		t.Errorf("stats = %+v, want threaded jumps and 2 removed hops", s)
+	}
+	main := m.Func("main")
+	j, ok := main.Blocks[0].Term.(*ir.Jump)
+	if !ok || j.Target.Name != "final" {
+		t.Errorf("entry terminator = %v, want jump %%final", main.Blocks[0].Term)
+	}
+}
+
+func TestEliminateDeadChains(t *testing.T) {
+	mb := ir.NewModuleBuilder("dce")
+	mb.Global("g", 64)
+	fb := mb.Function("main")
+	fb.Work(10) // pure dead ALU chain
+	fb.Load(ir.Access{Global: "g", Pattern: ir.Rand})
+	fb.Return()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	s := Optimize(m)
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if s.RemovedInstrs != 10 {
+		t.Errorf("RemovedInstrs = %d, want 10", s.RemovedInstrs)
+	}
+	instrs := m.Func("main").Blocks[0].Instrs
+	if len(instrs) != 1 {
+		t.Errorf("instrs = %d, want just the load", len(instrs))
+	}
+}
+
+func TestLoopCountersSurvive(t *testing.T) {
+	mb := ir.NewModuleBuilder("loop")
+	mb.Global("g", 1<<16)
+	fb := mb.Function("main")
+	fb.Loop(7, func() {
+		fb.Load(ir.Access{Global: "g", Pattern: ir.Seq, Stride: 64})
+	})
+	fb.Return()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+	before := dynCounts(t, m.Clone())
+
+	Optimize(m)
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	after := dynCounts(t, m)
+	if after.Loads != before.Loads || after.Loads != 7 {
+		t.Errorf("loads %d -> %d, want 7 preserved", before.Loads, after.Loads)
+	}
+	if after.Completions != 1 {
+		t.Errorf("completions = %d", after.Completions)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	mb := ir.NewModuleBuilder("idem")
+	mb.Global("g", 4096)
+	fb := mb.Function("main")
+	fb.Work(5)
+	fb.Loop(3, func() {
+		fb.Load(ir.Access{Global: "g", Pattern: ir.Rand})
+	})
+	fb.Return()
+	mb.SetEntry("main")
+	m := mb.MustBuild()
+
+	Optimize(m)
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	s2 := Optimize(m)
+	if s2.changed() {
+		t.Errorf("second Optimize changed things: %+v", s2)
+	}
+}
+
+// Property: optimization preserves dynamic memory-operation counts and
+// completion semantics on random builder-generated programs.
+func TestOptimizePreservesSemantics(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mb := ir.NewModuleBuilder("prop")
+		mb.Global("g", 1+int64(rng.Intn(1<<16)))
+		fb := mb.Function("main")
+		var emit func(depth int)
+		emit = func(depth int) {
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				switch rng.Intn(3) {
+				case 0:
+					fb.Load(ir.Access{Global: "g", Pattern: ir.Pattern(rng.Intn(4))})
+				case 1:
+					fb.Store(ir.Imm(int64(rng.Intn(50))), ir.Access{Global: "g", Pattern: ir.Rand})
+				default:
+					fb.Work(1 + rng.Intn(4))
+				}
+			}
+			if depth > 0 && rng.Intn(2) == 0 {
+				fb.Loop(int64(1+rng.Intn(6)), func() { emit(depth - 1) })
+			}
+		}
+		emit(2)
+		fb.Return()
+		mb.SetEntry("main")
+		m, err := mb.Build()
+		if err != nil {
+			return false
+		}
+		before := dynCounts(t, m.Clone())
+		Optimize(m)
+		if err := m.Finalize(); err != nil {
+			return false
+		}
+		after := dynCounts(t, m)
+		return before.Loads == after.Loads &&
+			before.Stores == after.Stores &&
+			before.Completions == after.Completions &&
+			after.Insts <= before.Insts
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

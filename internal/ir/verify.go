@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is wrapped by all verification failures.
+var ErrInvalid = errors.New("ir: invalid module")
+
+func verifyErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Verify checks structural well-formedness:
+//   - the entry function exists,
+//   - function and global names are unique and non-empty,
+//   - every function has at least one block, every block a terminator,
+//   - branch/jump targets belong to the same function,
+//   - calls name functions that exist in the module,
+//   - memory instructions reference declared globals,
+//   - globals have positive sizes.
+func (m *Module) Verify() error {
+	if m.Name == "" {
+		return verifyErr("module has no name")
+	}
+	globals := make(map[string]bool, len(m.Globals))
+	for _, g := range m.Globals {
+		if g.Name == "" {
+			return verifyErr("global with empty name")
+		}
+		if globals[g.Name] {
+			return verifyErr("duplicate global %q", g.Name)
+		}
+		if g.Size <= 0 {
+			return verifyErr("global %q has non-positive size %d", g.Name, g.Size)
+		}
+		globals[g.Name] = true
+	}
+	funcs := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if f.Name == "" {
+			return verifyErr("function with empty name")
+		}
+		if funcs[f.Name] {
+			return verifyErr("duplicate function %q", f.Name)
+		}
+		funcs[f.Name] = true
+	}
+	if m.EntryFn == "" {
+		return verifyErr("module has no entry function")
+	}
+	if !funcs[m.EntryFn] {
+		return verifyErr("entry function %q not defined", m.EntryFn)
+	}
+	for _, f := range m.Funcs {
+		if err := m.verifyFunc(f, globals, funcs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyFunc(f *Function, globals, funcs map[string]bool) error {
+	if len(f.Blocks) == 0 {
+		return verifyErr("function %q has no blocks", f.Name)
+	}
+	own := make(map[*Block]bool, len(f.Blocks))
+	names := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Name == "" {
+			return verifyErr("function %q has a block with empty name", f.Name)
+		}
+		if names[b.Name] {
+			return verifyErr("function %q has duplicate block %q", f.Name, b.Name)
+		}
+		names[b.Name] = true
+		own[b] = true
+	}
+	checkAcc := func(where string, a Access) error {
+		if !globals[a.Global] {
+			return verifyErr("function %q: %s references undeclared global %q", f.Name, where, a.Global)
+		}
+		if a.Stride < 0 {
+			return verifyErr("function %q: %s has negative stride", f.Name, where)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *Load:
+				if err := checkAcc("load", in.Acc); err != nil {
+					return err
+				}
+			case *Store:
+				if err := checkAcc("store", in.Acc); err != nil {
+					return err
+				}
+			case *Prefetch:
+				if err := checkAcc("prefetch", in.Acc); err != nil {
+					return err
+				}
+			case *Call:
+				if !funcs[in.Callee] {
+					return verifyErr("function %q calls undefined function %q", f.Name, in.Callee)
+				}
+			case *BinOp, *Const:
+			default:
+				return verifyErr("function %q block %q: unknown instruction %T", f.Name, b.Name, in)
+			}
+		}
+		if b.Term == nil {
+			return verifyErr("function %q block %q has no terminator", f.Name, b.Name)
+		}
+		for _, s := range b.Term.Successors() {
+			if s == nil {
+				return verifyErr("function %q block %q has nil successor", f.Name, b.Name)
+			}
+			if !own[s] {
+				return verifyErr("function %q block %q targets block %q outside the function", f.Name, b.Name, s.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package loadgen drives request-gated latency-sensitive services with an
+// offered-load trace, standing in for the client populations that load
+// CloudSuite services in the paper (e.g. Figure 16's fluctuating
+// web-search queries-per-second curve).
+package loadgen
+
+import (
+	"repro/internal/machine"
+)
+
+// Trace maps simulated time (seconds since experiment start) to offered
+// load as a fraction of peak QPS, in [0,1].
+type Trace interface {
+	Load(t float64) float64
+}
+
+// Constant is a fixed offered load.
+type Constant float64
+
+// Load returns the constant level.
+func (c Constant) Load(float64) float64 { return float64(c) }
+
+// Step is one segment of a piecewise-constant trace.
+type Step struct {
+	// Until is the segment's end time in seconds.
+	Until float64
+	// Load is the offered fraction during the segment.
+	Load float64
+}
+
+// Steps is a piecewise-constant trace; time past the last step repeats the
+// last level.
+type Steps []Step
+
+// Load returns the level of the segment containing t.
+func (s Steps) Load(t float64) float64 {
+	for _, st := range s {
+		if t < st.Until {
+			return st.Load
+		}
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1].Load
+}
+
+// Figure16 reproduces the shape of the paper's Figure 16(a) web-search
+// load over the given total duration: high load for the first third,
+// low load for the middle third, high load again for the final third.
+func Figure16(duration float64) Steps {
+	return Steps{
+		{Until: duration / 3, Load: 0.93},
+		{Until: 2 * duration / 3, Load: 0.25},
+		{Until: duration, Load: 0.93},
+	}
+}
+
+// Generator grants request budget to a gated process according to a trace.
+// It implements machine.Agent.
+type Generator struct {
+	proc    *machine.Process
+	trace   Trace
+	peakQPS float64
+	start   uint64
+	started bool
+	lastAt  uint64
+	carry   float64
+	offered uint64
+}
+
+// NewGenerator drives proc with the trace, where load 1.0 corresponds to
+// peakQPS requests per simulated second. peakQPS should be the service's
+// measured solo capacity.
+func NewGenerator(proc *machine.Process, trace Trace, peakQPS float64) *Generator {
+	return &Generator{proc: proc, trace: trace, peakQPS: peakQPS}
+}
+
+// Tick grants the budget accrued since the previous tick.
+func (g *Generator) Tick(m *machine.Machine) {
+	now := m.Now()
+	if !g.started {
+		g.started = true
+		g.start = now
+		g.lastAt = now
+		return
+	}
+	freq := m.Config().FreqHz
+	t := float64(now-g.start) / freq
+	dt := float64(now-g.lastAt) / freq
+	g.lastAt = now
+	g.carry += g.trace.Load(t) * g.peakQPS * dt
+	n := uint64(g.carry)
+	if n > 0 {
+		g.carry -= float64(n)
+		g.proc.GrantWork(n)
+		g.offered += n
+	}
+}
+
+// Offered counts requests granted so far.
+func (g *Generator) Offered() uint64 { return g.offered }
+
+// CurrentLoad returns the trace level at machine time (for reporting).
+func (g *Generator) CurrentLoad(m *machine.Machine) float64 {
+	if !g.started {
+		return g.trace.Load(0)
+	}
+	return g.trace.Load(float64(m.Now()-g.start) / m.Config().FreqHz)
+}
+
+// MeasureCapacity runs a gated process with an effectively infinite budget
+// for the given number of quanta and returns its completion rate per
+// simulated second. Run it on an otherwise idle machine to get solo peak
+// QPS.
+func MeasureCapacity(m *machine.Machine, proc *machine.Process, quanta int) float64 {
+	proc.GrantWork(1 << 40)
+	before := proc.Counters().Completions
+	start := m.Now()
+	m.RunQuanta(quanta)
+	served := proc.Counters().Completions - before
+	secs := float64(m.Now()-start) / m.Config().FreqHz
+	return float64(served) / secs
+}

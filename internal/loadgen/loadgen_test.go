@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestTraces(t *testing.T) {
+	if Constant(0.5).Load(123) != 0.5 {
+		t.Error("Constant broken")
+	}
+	s := Steps{{Until: 10, Load: 0.2}, {Until: 20, Load: 0.8}}
+	cases := []struct {
+		t    float64
+		want float64
+	}{{0, 0.2}, {9.9, 0.2}, {10, 0.8}, {19, 0.8}, {25, 0.8}}
+	for _, c := range cases {
+		if got := s.Load(c.t); got != c.want {
+			t.Errorf("Load(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if (Steps{}).Load(5) != 0 {
+		t.Error("empty Steps should yield 0")
+	}
+	f := Figure16(900)
+	if f.Load(100) != 0.93 || f.Load(450) != 0.25 || f.Load(700) != 0.93 {
+		t.Errorf("Figure16 shape wrong: %v %v %v", f.Load(100), f.Load(450), f.Load(700))
+	}
+}
+
+func TestGeneratorGrantsProportionally(t *testing.T) {
+	spec := workload.MustByName("web-search")
+	bin, err := spec.CompilePlain()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := machine.New(machine.Config{Cores: 1})
+	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	gen := NewGenerator(p, Constant(0.5), 1000) // 500 req/s offered
+	m.AddAgent(gen)
+	m.RunSeconds(2)
+	offered := gen.Offered()
+	if offered < 900 || offered > 1100 {
+		t.Errorf("offered %d requests over 2s at 500 QPS, want ~1000", offered)
+	}
+	// Low offered load on an idle machine: everything is served.
+	served := p.Counters().Completions
+	if float64(served) < float64(offered)*0.95 {
+		t.Errorf("served %d of %d at low load", served, offered)
+	}
+}
+
+func TestGeneratorFollowsTrace(t *testing.T) {
+	spec := workload.MustByName("web-search")
+	bin, _ := spec.CompilePlain()
+	m := machine.New(machine.Config{Cores: 1})
+	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	trace := Steps{{Until: 1, Load: 1.0}, {Until: 2, Load: 0.1}}
+	gen := NewGenerator(p, trace, 1000)
+	m.AddAgent(gen)
+	m.RunSeconds(1)
+	high := gen.Offered()
+	m.RunSeconds(1)
+	low := gen.Offered() - high
+	if math.Abs(float64(high)-1000) > 100 {
+		t.Errorf("high segment offered %d, want ~1000", high)
+	}
+	if math.Abs(float64(low)-100) > 30 {
+		t.Errorf("low segment offered %d, want ~100", low)
+	}
+	if gen.CurrentLoad(m) != 0.1 {
+		t.Errorf("CurrentLoad = %v, want 0.1", gen.CurrentLoad(m))
+	}
+}
+
+func TestMeasureCapacity(t *testing.T) {
+	spec := workload.MustByName("web-search")
+	bin, _ := spec.CompilePlain()
+	m := machine.New(machine.Config{Cores: 1})
+	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	qps := MeasureCapacity(m, p, 1000)
+	if qps <= 0 {
+		t.Fatalf("capacity = %v", qps)
+	}
+	// Capacity should be stable across a second measurement within noise.
+	qps2 := MeasureCapacity(m, p, 1000)
+	if qps2 < qps*0.8 || qps2 > qps*1.2 {
+		t.Errorf("capacity unstable: %v then %v", qps, qps2)
+	}
+}

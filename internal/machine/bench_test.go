@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// BenchmarkInterpreter measures raw interpreter throughput (simulated
+// instructions per wall second) on a compute-heavy kernel.
+func BenchmarkInterpreter(b *testing.B) {
+	mb := ir.NewModuleBuilder("alu")
+	mb.Global("g", 1<<16)
+	f := mb.Function("main")
+	f.Loop(1<<40, func() { f.Work(16) })
+	f.Return()
+	mb.SetEntry("main")
+	bin := compile(b, mb.MustBuild(), false)
+
+	m := New(Config{Cores: 1})
+	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunQuanta(1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(p.Counters().Insts)/float64(b.N), "insts/quantum")
+}
+
+// BenchmarkInterpreterMemory measures throughput on a load-heavy streaming
+// kernel that exercises the cache hierarchy on every iteration.
+func BenchmarkInterpreterMemory(b *testing.B) {
+	bin := compile(b, streamModule(b, "stream", 8<<20), false)
+	m := New(Config{Cores: 1})
+	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunQuanta(1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(p.Counters().Loads)/float64(b.N), "loads/quantum")
+}
+
+// BenchmarkQuadCoreContention measures a fully loaded machine: four
+// processes sharing the LLC.
+func BenchmarkQuadCoreContention(b *testing.B) {
+	m := New(Config{Cores: 4})
+	for c := 0; c < 4; c++ {
+		bin := compile(b, streamModule(b, "s", 4<<20), false)
+		if _, err := m.Attach(c, bin, ProcessOptions{Restart: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunQuanta(1)
+	}
+}
+
+// BenchmarkEVTDispatch measures the cost of an EVT retarget plus the next
+// quantum of redirected execution.
+func BenchmarkEVTDispatch(b *testing.B) {
+	bin := compile(b, streamModule(b, "app", 1<<20), true)
+	m := New(Config{Cores: 1})
+	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot := p.EVT().SlotFor("hot")
+	fi, _ := bin.Program.FuncByName("hot")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EVT().SetTarget(slot, fi.Entry)
+		m.RunQuanta(1)
+	}
+}

@@ -1,0 +1,180 @@
+// Package machine simulates the multicore server protean binaries run on.
+//
+// It plays the role of the paper's quad-core AMD testbed: each core executes
+// one attached program's simulated instructions against a shared cache
+// hierarchy, with cycle-level accounting. The machine provides everything
+// the protean runtime observes and manipulates on a real system:
+//
+//   - per-core hardware performance counters (instructions, branches,
+//     cycles, shared-LLC misses) for introspection and extrospection,
+//   - the current program counter for ptrace-style PC sampling,
+//   - a live Edge Virtualization Table per process plus a code cache into
+//     which runtime-generated variants are installed,
+//   - napping duty cycles and forced sleeps (the flux QoS probe),
+//   - a cycle-stealing hook that models a runtime compiler sharing the
+//     host's core.
+//
+// Time advances in fixed quanta. Within a quantum each core runs until its
+// local cycle clock reaches the quantum boundary; cross-core cache
+// contention is therefore interleaved at quantum granularity. Agents
+// (runtimes, monitors, load generators) are invoked at every quantum
+// boundary, in simulated time — the paper's "asynchronous" runtime maps to
+// agents whose work consumes simulated cycles while the host keeps running.
+//
+// The simulation clock is deliberately slow (default 10 MHz): all of the
+// paper's metrics are ratios (normalized IPS, normalized BPS, fractions of
+// server cycles), which are frequency-invariant, and a slow clock keeps
+// multi-"second" experiments cheap to simulate.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/progbin"
+)
+
+// Config sizes the machine.
+type Config struct {
+	// Cores is the number of cores (default 4, as in the paper's testbed).
+	Cores int
+	// FreqHz is the simulation clock (default 10e6).
+	FreqHz float64
+	// QuantumCycles is the scheduling/contention granularity (default 1 ms
+	// of simulated time).
+	QuantumCycles uint64
+	// Hierarchy configures the caches; zero value uses
+	// cache.DefaultHierarchy(Cores).
+	Hierarchy cache.HierarchyConfig
+	// MLP divides memory stall cycles, modelling overlapping misses
+	// (default 4).
+	MLP int
+	// NapWindowCycles is the napping duty-cycle window (default 5 ms of
+	// simulated time).
+	NapWindowCycles uint64
+	// Seed perturbs per-process address-stream randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.FreqHz == 0 {
+		c.FreqHz = 10e6
+	}
+	if c.QuantumCycles == 0 {
+		c.QuantumCycles = uint64(c.FreqHz / 1000) // 1 ms
+	}
+	if c.Hierarchy.Cores == 0 {
+		c.Hierarchy = cache.DefaultHierarchy(c.Cores)
+	}
+	if c.MLP == 0 {
+		c.MLP = 4
+	}
+	if c.NapWindowCycles == 0 {
+		c.NapWindowCycles = 5 * uint64(c.FreqHz/1000) // 5 ms
+	}
+	return c
+}
+
+// Agent is invoked at every quantum boundary. The protean runtime, QoS
+// monitors, and load generators are agents.
+type Agent interface {
+	Tick(m *Machine)
+}
+
+// AgentFunc adapts a function to Agent.
+type AgentFunc func(m *Machine)
+
+// Tick calls f.
+func (f AgentFunc) Tick(m *Machine) { f(m) }
+
+// Machine is the simulated server. Not safe for concurrent use: agents run
+// interleaved with execution on the caller's goroutine, which is what makes
+// cycle accounting deterministic.
+type Machine struct {
+	cfg    Config
+	hier   *cache.Hierarchy
+	procs  []*Process // indexed by core; nil = idle core
+	agents []Agent
+	now    uint64 // global cycles
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	return &Machine{
+		cfg:   cfg,
+		hier:  cache.NewHierarchy(cfg.Hierarchy),
+		procs: make([]*Process, cfg.Cores),
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Hierarchy exposes the cache model.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Now returns the global simulated cycle count.
+func (m *Machine) Now() uint64 { return m.now }
+
+// NowSeconds returns the global simulated time in seconds.
+func (m *Machine) NowSeconds() float64 { return float64(m.now) / m.cfg.FreqHz }
+
+// Cycles converts a simulated duration in seconds to cycles.
+func (m *Machine) Cycles(seconds float64) uint64 {
+	return uint64(seconds * m.cfg.FreqHz)
+}
+
+// Attach loads a binary onto a core and returns the process. ProcessOptions
+// hold per-process knobs (restart-on-exit, DBT overlay).
+func (m *Machine) Attach(core int, bin *progbin.Binary, opts ProcessOptions) (*Process, error) {
+	if core < 0 || core >= m.cfg.Cores {
+		return nil, fmt.Errorf("machine: core %d out of range [0,%d)", core, m.cfg.Cores)
+	}
+	if m.procs[core] != nil {
+		return nil, fmt.Errorf("machine: core %d already running %q", core, m.procs[core].Name())
+	}
+	p := newProcess(m, core, bin, opts)
+	m.procs[core] = p
+	return p, nil
+}
+
+// Detach removes the process on core (between quanta only).
+func (m *Machine) Detach(core int) {
+	m.procs[core] = nil
+	m.hier.FlushCore(core)
+}
+
+// Process returns the process on core, or nil.
+func (m *Machine) Process(core int) *Process { return m.procs[core] }
+
+// AddAgent registers an agent invoked at each quantum boundary, in
+// registration order.
+func (m *Machine) AddAgent(a Agent) { m.agents = append(m.agents, a) }
+
+// RunQuanta advances the machine n quanta.
+func (m *Machine) RunQuanta(n int) {
+	for i := 0; i < n; i++ {
+		m.now += m.cfg.QuantumCycles
+		for _, p := range m.procs {
+			if p != nil {
+				p.runUntil(m.now)
+			}
+		}
+		for _, a := range m.agents {
+			a.Tick(m)
+		}
+	}
+}
+
+// RunSeconds advances the machine by a simulated duration.
+func (m *Machine) RunSeconds(seconds float64) {
+	quanta := int(seconds * m.cfg.FreqHz / float64(m.cfg.QuantumCycles))
+	if quanta < 1 {
+		quanta = 1
+	}
+	m.RunQuanta(quanta)
+}

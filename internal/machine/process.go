@@ -1,0 +1,660 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/progbin"
+)
+
+// Instruction issue costs in cycles. Loads and stores add memory time on
+// top. The EVT-indirect call is one cycle dearer than a direct call — the
+// "indirect branches are generally slightly slower" premise behind the
+// paper's choice to virtualize selectively.
+const (
+	costALU      = 1
+	costConst    = 1
+	costBr       = 1
+	costJmp      = 1
+	costCall     = 2
+	costCallEVT  = 3
+	costRet      = 2
+	costPrefetch = 1
+	costLoadBase = 1
+	costStore    = 1
+)
+
+// DBTConfig overlays a dynamic-binary-translation cost model on a process,
+// standing in for running the program under DynamoRIO (Figure 4's
+// baseline). Translation-based systems keep all execution inside a code
+// cache: every control transfer pays a dispatch cost (heavier for indirect
+// transfers, which need a hash lookup), and the first visit to a target
+// pays a one-time translation cost.
+type DBTConfig struct {
+	DirectTransferCycles   int
+	IndirectTransferCycles int
+	TranslateCyclesPerSite int
+}
+
+// ProcessOptions configure one attached process.
+type ProcessOptions struct {
+	// Restart re-enters the program's entry function when it returns,
+	// modelling a batch job immediately rescheduled (throughput workloads).
+	Restart bool
+	// Gated turns the process into a request-driven server: each entry-
+	// function completion consumes one unit of work budget, and the process
+	// idles when the budget is empty. Load generators grant budget via
+	// GrantWork; a latency-sensitive service at 30% load gets 30% of its
+	// peak request rate. Gated implies restart-on-completion while budget
+	// remains.
+	Gated bool
+	// DBT, when non-nil, applies the binary-translation overhead model.
+	DBT *DBTConfig
+	// TraceDepth, when positive, keeps a ring buffer of the last N executed
+	// instructions (cycle, PC) for post-mortem inspection. Tracing slows
+	// the interpreter; leave zero in experiments.
+	TraceDepth int
+	// Label overrides the reported process name (defaults to module name).
+	Label string
+}
+
+// TraceEntry is one executed instruction in a process's trace ring.
+type TraceEntry struct {
+	Cycle uint64
+	PC    int
+}
+
+// Counters are the per-process hardware counters the runtime samples.
+type Counters struct {
+	// Cycles is the process's local clock: everything below plus run time.
+	Cycles uint64
+	// NapCycles were spent napping under the duty-cycle controller.
+	NapCycles uint64
+	// SleepCycles were spent in forced sleeps (flux probes).
+	SleepCycles uint64
+	// StolenCycles were consumed by a same-core runtime compiler.
+	StolenCycles uint64
+	// IdleCycles were spent waiting for work (gated server with an empty
+	// request budget).
+	IdleCycles uint64
+	// DBTCycles were consumed by the binary-translation overlay.
+	DBTCycles uint64
+
+	Insts      uint64
+	Branches   uint64
+	Loads      uint64
+	Stores     uint64
+	Prefetches uint64
+	// Completions counts entry-function returns (restart events).
+	Completions uint64
+}
+
+// Sub returns the delta c - prev.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Cycles:       c.Cycles - prev.Cycles,
+		NapCycles:    c.NapCycles - prev.NapCycles,
+		SleepCycles:  c.SleepCycles - prev.SleepCycles,
+		StolenCycles: c.StolenCycles - prev.StolenCycles,
+		IdleCycles:   c.IdleCycles - prev.IdleCycles,
+		DBTCycles:    c.DBTCycles - prev.DBTCycles,
+		Insts:        c.Insts - prev.Insts,
+		Branches:     c.Branches - prev.Branches,
+		Loads:        c.Loads - prev.Loads,
+		Stores:       c.Stores - prev.Stores,
+		Prefetches:   c.Prefetches - prev.Prefetches,
+		Completions:  c.Completions - prev.Completions,
+	}
+}
+
+type frame struct {
+	retPC int
+	regs  []int64
+}
+
+type siteState struct {
+	cursor uint64
+}
+
+// Process is one program executing on one core.
+type Process struct {
+	m    *Machine
+	core int
+	bin  *progbin.Binary
+	opts ProcessOptions
+
+	code  []isa.Inst
+	funcs []isa.FuncInfo // sorted by Entry; includes installed variants
+	evt   *progbin.LiveEVT
+
+	// base offsets this process's data addresses so co-runners have
+	// disjoint working sets that still contend for shared cache capacity.
+	base uint64
+
+	pc      int
+	frames  []frame
+	regs    []int64
+	regPool [][]int64
+	maxReg  int
+	sites   []siteState
+	rng     uint64
+
+	halted bool
+	ctr    Counters
+
+	trace    []TraceEntry
+	tracePos int
+	traceLen int
+
+	napIntensity float64
+	sleepUntil   uint64
+	stealPending uint64
+	workBudget   uint64
+
+	dbtSeen []bool
+}
+
+func newProcess(m *Machine, core int, bin *progbin.Binary, opts ProcessOptions) *Process {
+	p := &Process{
+		m:     m,
+		core:  core,
+		bin:   bin,
+		opts:  opts,
+		code:  append([]isa.Inst(nil), bin.Program.Code...),
+		funcs: append([]isa.FuncInfo(nil), bin.Program.Funcs...),
+		evt:   progbin.NewLiveEVT(bin.Program.EVT),
+		base:  uint64(core+1) << 40,
+		sites: make([]siteState, bin.Program.NumSites),
+		rng:   uint64(m.cfg.Seed)*2654435769 + uint64(core)*0x9e3779b97f4a7c15 + 1,
+	}
+	sort.Slice(p.funcs, func(i, j int) bool { return p.funcs[i].Entry < p.funcs[j].Entry })
+	for _, f := range p.funcs {
+		if f.MaxReg > p.maxReg {
+			p.maxReg = f.MaxReg
+		}
+	}
+	if opts.DBT != nil {
+		p.dbtSeen = make([]bool, len(p.code))
+	}
+	if opts.TraceDepth > 0 {
+		p.trace = make([]TraceEntry, opts.TraceDepth)
+	}
+	p.ctr.Cycles = m.now
+	p.reset()
+	return p
+}
+
+func (p *Process) reset() {
+	p.pc = p.bin.Program.EntryPC
+	p.frames = p.frames[:0]
+	p.regs = p.newRegs()
+}
+
+func (p *Process) newRegs() []int64 {
+	if n := len(p.regPool); n > 0 {
+		r := p.regPool[n-1]
+		p.regPool = p.regPool[:n-1]
+		for i := range r {
+			r[i] = 0
+		}
+		return r
+	}
+	return make([]int64, p.maxReg)
+}
+
+// Name returns the process label.
+func (p *Process) Name() string {
+	if p.opts.Label != "" {
+		return p.opts.Label
+	}
+	return p.bin.Program.Name
+}
+
+// Core returns the core index the process runs on.
+func (p *Process) Core() int { return p.core }
+
+// Binary returns the loaded binary.
+func (p *Process) Binary() *progbin.Binary { return p.bin }
+
+// EVT returns the process's live Edge Virtualization Table.
+func (p *Process) EVT() *progbin.LiveEVT { return p.evt }
+
+// Counters returns a snapshot of the process's counters.
+func (p *Process) Counters() Counters { return p.ctr }
+
+// Halted reports whether the program exited (only when Restart is false).
+func (p *Process) Halted() bool { return p.halted }
+
+// CurrentPC returns the program counter (the ptrace sampling hook).
+func (p *Process) CurrentPC() int { return p.pc }
+
+// FuncAt attributes a PC to a function (original or variant), using binary
+// search over entry-sorted ranges.
+func (p *Process) FuncAt(pc int) (isa.FuncInfo, bool) {
+	i := sort.Search(len(p.funcs), func(i int) bool { return p.funcs[i].Entry > pc })
+	if i == 0 {
+		return isa.FuncInfo{}, false
+	}
+	f := p.funcs[i-1]
+	if pc >= f.Entry && pc < f.End {
+		return f, true
+	}
+	return isa.FuncInfo{}, false
+}
+
+// CurrentFunc returns the name of the function the PC is in, or "".
+func (p *Process) CurrentFunc() string {
+	if f, ok := p.FuncAt(p.pc); ok {
+		return f.Name
+	}
+	return ""
+}
+
+// SetNapIntensity sets the napping duty cycle in [0,1]: the fraction of
+// each nap window the process sleeps.
+func (p *Process) SetNapIntensity(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	p.napIntensity = f
+}
+
+// NapIntensity returns the current duty cycle.
+func (p *Process) NapIntensity() float64 { return p.napIntensity }
+
+// ForceSleep puts the process to sleep for n cycles starting now — the
+// flux probe mechanism (Section IV-F).
+func (p *Process) ForceSleep(n uint64) {
+	if p.ctr.Cycles+n > p.sleepUntil {
+		p.sleepUntil = p.ctr.Cycles + n
+	}
+}
+
+// StealCycles consumes n upcoming cycles of the process's core for another
+// activity (a same-core runtime compiler). The process makes no progress
+// while stolen cycles drain.
+func (p *Process) StealCycles(n uint64) { p.stealPending += n }
+
+// GrantWork adds n requests to a gated server's budget. No-op semantics for
+// ungated processes (the budget is simply never consumed).
+func (p *Process) GrantWork(n uint64) { p.workBudget += n }
+
+// WorkBudget returns the outstanding request budget of a gated server.
+func (p *Process) WorkBudget() uint64 { return p.workBudget }
+
+// CodeCursor returns the PC where the next installed variant will land.
+func (p *Process) CodeCursor() int { return len(p.code) }
+
+// InstallVariant appends a lowered variant fragment to the process's code
+// cache and registers its function range. The fragment must have been
+// lowered with basePC = CodeCursor(). Installing does not redirect
+// execution; the EVT manager does that separately. Variant memory sites
+// alias the original program's cursor state by stable MemID, so switching
+// variants never rewinds an access stream.
+func (p *Process) InstallVariant(vr *isa.VariantResult) error {
+	if vr.Info.Entry != len(p.code) {
+		return fmt.Errorf("machine: variant lowered for basePC %d but code cursor is %d", vr.Info.Entry, len(p.code))
+	}
+	p.code = append(p.code, vr.Code...)
+	p.funcs = append(p.funcs, vr.Info) // still entry-sorted: code grows upward
+	if vr.NumSites > len(p.sites) {
+		p.sites = append(p.sites, make([]siteState, vr.NumSites-len(p.sites))...)
+	}
+	if vr.Info.MaxReg > p.maxReg {
+		p.maxReg = vr.Info.MaxReg
+		// Live register files may be smaller than the new maximum; they
+		// belong to functions with smaller MaxReg, so they stay valid. New
+		// frames allocate at the new size. Drop the pool of small slices.
+		p.regPool = nil
+	}
+	if p.dbtSeen != nil {
+		grown := make([]bool, len(p.code))
+		copy(grown, p.dbtSeen)
+		p.dbtSeen = grown
+	}
+	return nil
+}
+
+// runUntil advances the process's local clock to the global quantum
+// boundary, executing instructions, naps, sleeps and stolen cycles.
+func (p *Process) runUntil(until uint64) {
+	napWindow := p.m.cfg.NapWindowCycles
+	mlp := uint64(p.m.cfg.MLP)
+	hier := p.m.hier
+	for p.ctr.Cycles < until {
+		if p.halted {
+			p.ctr.Cycles = until
+			return
+		}
+		// Forced sleep has priority (the flux probe stops even napping
+		// processes fully).
+		if p.sleepUntil > p.ctr.Cycles {
+			end := min64(p.sleepUntil, until)
+			p.ctr.SleepCycles += end - p.ctr.Cycles
+			p.ctr.Cycles = end
+			continue
+		}
+		// Stolen cycles (same-core runtime compiler).
+		if p.stealPending > 0 {
+			take := min64(p.stealPending, until-p.ctr.Cycles)
+			p.stealPending -= take
+			p.ctr.StolenCycles += take
+			p.ctr.Cycles += take
+			continue
+		}
+		// A gated server with no pending requests idles until work arrives.
+		if p.opts.Gated && p.workBudget == 0 {
+			p.ctr.IdleCycles += until - p.ctr.Cycles
+			p.ctr.Cycles = until
+			continue
+		}
+		// Napping duty cycle: sleep the first napIntensity fraction of
+		// each window.
+		if p.napIntensity > 0 {
+			wStart := p.ctr.Cycles / napWindow * napWindow
+			napEnd := wStart + uint64(p.napIntensity*float64(napWindow))
+			if p.ctr.Cycles < napEnd {
+				end := min64(napEnd, until)
+				p.ctr.NapCycles += end - p.ctr.Cycles
+				p.ctr.Cycles = end
+				continue
+			}
+		}
+		p.step(hier, mlp)
+	}
+}
+
+// step executes one instruction.
+func (p *Process) step(hier hierAccessor, mlp uint64) {
+	in := &p.code[p.pc]
+	if p.trace != nil {
+		p.trace[p.tracePos] = TraceEntry{Cycle: p.ctr.Cycles, PC: p.pc}
+		p.tracePos++
+		if p.tracePos == len(p.trace) {
+			p.tracePos = 0
+		}
+		if p.traceLen < len(p.trace) {
+			p.traceLen++
+		}
+	}
+	p.ctr.Insts++
+	switch in.Op {
+	case isa.OpALU:
+		x := p.regs[in.X]
+		var y int64
+		if in.YIsReg {
+			y = p.regs[in.YReg]
+		} else {
+			y = in.YImm
+		}
+		p.regs[in.Dst] = alu(in.Bin, x, y)
+		p.ctr.Cycles += costALU
+		p.pc++
+	case isa.OpConst:
+		p.regs[in.Dst] = in.YImm
+		p.ctr.Cycles += costConst
+		p.pc++
+	case isa.OpLoad:
+		addr := p.address(&in.Gen)
+		lat := hier.Load(p.core, addr, in.NT)
+		stall := uint64(lat) / mlp
+		p.ctr.Cycles += costLoadBase + stall
+		p.ctr.Loads++
+		p.regs[in.Dst] = int64(addr)
+		p.pc++
+	case isa.OpStore:
+		addr := p.address(&in.Gen)
+		hier.Store(p.core, addr, in.NT)
+		p.ctr.Cycles += costStore
+		p.ctr.Stores++
+		p.pc++
+	case isa.OpPrefetch:
+		switch {
+		case in.Lead != 0:
+			// Lead prefetch: warm the address Lead bytes ahead of the
+			// shared stream cursor without advancing it, so the load that
+			// reaches that position a few iterations later hits.
+			addr := p.addressPeek(&in.Gen, uint64(in.Lead))
+			hier.Prefetch(p.core, addr, in.NT)
+		case in.NT && p.pairedWithNextLoad(in):
+			// A hint prefetch paired with the following load (same site)
+			// is issue-cost only: its sole architectural effect is tagging
+			// the load's fill non-temporal, which the load itself carries.
+		default:
+			addr := p.address(&in.Gen)
+			hier.Prefetch(p.core, addr, in.NT)
+		}
+		p.ctr.Cycles += costPrefetch
+		p.ctr.Prefetches++
+		p.pc++
+	case isa.OpBr:
+		x := p.regs[in.X]
+		var y int64
+		if in.YIsReg {
+			y = p.regs[in.YReg]
+		} else {
+			y = in.YImm
+		}
+		p.ctr.Cycles += costBr
+		p.ctr.Branches++
+		if cmp(in.Cmp, x, y) {
+			p.transfer(in.Target, false)
+		} else {
+			p.pc++
+		}
+	case isa.OpJmp:
+		p.ctr.Cycles += costJmp
+		p.ctr.Branches++
+		p.transfer(in.Target, false)
+	case isa.OpCall:
+		p.ctr.Cycles += costCall
+		p.ctr.Branches++
+		p.pushFrame(p.pc + 1)
+		p.transfer(in.Target, false)
+	case isa.OpCallEVT:
+		p.ctr.Cycles += costCallEVT
+		p.ctr.Branches++
+		p.pushFrame(p.pc + 1)
+		p.transfer(p.evt.Target(in.EVTSlot), true)
+	case isa.OpRet:
+		p.ctr.Cycles += costRet
+		p.ctr.Branches++
+		if len(p.frames) == 0 {
+			p.ctr.Completions++
+			if p.opts.Gated {
+				if p.workBudget > 0 {
+					p.workBudget--
+				}
+				p.reset()
+			} else if p.opts.Restart {
+				p.reset()
+			} else {
+				p.halted = true
+			}
+			return
+		}
+		f := p.frames[len(p.frames)-1]
+		p.frames = p.frames[:len(p.frames)-1]
+		p.regPool = append(p.regPool, p.regs)
+		p.regs = f.regs
+		p.transfer(f.retPC, true)
+	case isa.OpHalt:
+		p.halted = true
+	default:
+		panic(fmt.Sprintf("machine: unknown opcode %d at pc %d", in.Op, p.pc))
+	}
+}
+
+// pairedWithNextLoad reports whether the prefetch at p.pc shares a site
+// with the immediately following load (the codegen's NT-hint pairing).
+func (p *Process) pairedWithNextLoad(in *isa.Inst) bool {
+	if p.pc+1 >= len(p.code) {
+		return false
+	}
+	next := &p.code[p.pc+1]
+	return next.Op == isa.OpLoad && next.Gen.Site == in.Gen.Site
+}
+
+func (p *Process) pushFrame(retPC int) {
+	p.frames = append(p.frames, frame{retPC: retPC, regs: p.regs})
+	p.regs = p.newRegs()
+}
+
+// transfer moves the PC, applying the DBT overlay when present.
+func (p *Process) transfer(target int, indirect bool) {
+	if p.dbtSeen != nil {
+		cfg := p.opts.DBT
+		var extra uint64
+		if indirect {
+			extra += uint64(cfg.IndirectTransferCycles)
+		} else {
+			extra += uint64(cfg.DirectTransferCycles)
+		}
+		if target < len(p.dbtSeen) && !p.dbtSeen[target] {
+			p.dbtSeen[target] = true
+			extra += uint64(cfg.TranslateCyclesPerSite)
+		}
+		p.ctr.Cycles += extra
+		p.ctr.DBTCycles += extra
+	}
+	p.pc = target
+}
+
+// hierAccessor is the slice of the cache hierarchy the interpreter needs;
+// taking it as an interface keeps step testable in isolation.
+type hierAccessor interface {
+	Load(core int, addr uint64, nt bool) int
+	Store(core int, addr uint64, nt bool) int
+	Prefetch(core int, addr uint64, nt bool)
+}
+
+func alu(op ir.BinKind, x, y int64) int64 {
+	switch op {
+	case ir.Add:
+		return x + y
+	case ir.Sub:
+		return x - y
+	case ir.Mul:
+		return x * y
+	case ir.Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case ir.And:
+		return x & y
+	case ir.Or:
+		return x | y
+	case ir.Xor:
+		return x ^ y
+	case ir.Shl:
+		return x << (uint64(y) & 63)
+	case ir.Shr:
+		return int64(uint64(x) >> (uint64(y) & 63))
+	}
+	return 0
+}
+
+func cmp(op ir.CmpKind, x, y int64) bool {
+	switch op {
+	case ir.Eq:
+		return x == y
+	case ir.Ne:
+		return x != y
+	case ir.Lt:
+		return x < y
+	case ir.Le:
+		return x <= y
+	case ir.Gt:
+		return x > y
+	case ir.Ge:
+		return x >= y
+	}
+	return false
+}
+
+// Trace returns the traced instructions, oldest first. Empty unless the
+// process was attached with a positive TraceDepth.
+func (p *Process) Trace() []TraceEntry {
+	if p.trace == nil || p.traceLen == 0 {
+		return nil
+	}
+	out := make([]TraceEntry, 0, p.traceLen)
+	start := p.tracePos - p.traceLen
+	if start < 0 {
+		start += len(p.trace)
+	}
+	for i := 0; i < p.traceLen; i++ {
+		out = append(out, p.trace[(start+i)%len(p.trace)])
+	}
+	return out
+}
+
+// nextRand steps the process-local xorshift64 generator.
+func (p *Process) nextRand() uint64 {
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	return x
+}
+
+// address generates the next address of a memory site.
+func (p *Process) address(g *isa.AddrGen) uint64 {
+	st := &p.sites[g.Site]
+	var off uint64
+	switch g.Pattern {
+	case ir.Seq:
+		off = st.cursor
+		st.cursor += g.Stride
+		if st.cursor >= g.Size {
+			st.cursor = 0
+		}
+	case ir.Rand:
+		off = (p.nextRand() % g.Size) &^ 7
+	case ir.Chase:
+		st.cursor = splitmix64(st.cursor+0x9e3779b97f4a7c15) % g.Size
+		off = st.cursor &^ 7
+	case ir.Hot:
+		r := p.nextRand()
+		if r%8 != 0 { // 7/8 of accesses stay in the hot set
+			off = (r >> 8) % g.HotBytes &^ 7
+		} else {
+			off = (r >> 8) % g.Size &^ 7
+		}
+	}
+	return p.base + g.Base + off
+}
+
+// addressPeek returns the address lead bytes ahead of the site's stream
+// position without mutating cursor state. Only sequential streams have a
+// meaningful "ahead"; other patterns peek at cursor+lead too, which is
+// harmless (the prefetch warms a plausible region address).
+func (p *Process) addressPeek(g *isa.AddrGen, lead uint64) uint64 {
+	st := p.sites[g.Site]
+	off := st.cursor + lead
+	for off >= g.Size {
+		off -= g.Size
+	}
+	return p.base + g.Base + off
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

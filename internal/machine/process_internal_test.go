@@ -1,0 +1,290 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		op   ir.BinKind
+		x, y int64
+		want int64
+	}{
+		{ir.Add, 3, 4, 7},
+		{ir.Sub, 3, 4, -1},
+		{ir.Mul, 3, 4, 12},
+		{ir.Div, 12, 4, 3},
+		{ir.Div, 12, 0, 0}, // division by zero yields 0, never traps
+		{ir.And, 0b1100, 0b1010, 0b1000},
+		{ir.Or, 0b1100, 0b1010, 0b1110},
+		{ir.Xor, 0b1100, 0b1010, 0b0110},
+		{ir.Shl, 1, 4, 16},
+		{ir.Shr, 16, 4, 1},
+		{ir.Shr, -1, 1, int64(^uint64(0) >> 1)}, // logical shift
+		{ir.Shl, 1, 64, 1},                      // shift amount masked to 6 bits
+	}
+	for _, tc := range cases {
+		if got := alu(tc.op, tc.x, tc.y); got != tc.want {
+			t.Errorf("alu(%v, %d, %d) = %d, want %d", tc.op, tc.x, tc.y, got, tc.want)
+		}
+	}
+	if got := alu(ir.BinKind(99), 1, 2); got != 0 {
+		t.Errorf("unknown op = %d, want 0", got)
+	}
+}
+
+func TestCmpSemantics(t *testing.T) {
+	cases := []struct {
+		op   ir.CmpKind
+		x, y int64
+		want bool
+	}{
+		{ir.Eq, 3, 3, true}, {ir.Eq, 3, 4, false},
+		{ir.Ne, 3, 4, true}, {ir.Ne, 3, 3, false},
+		{ir.Lt, 3, 4, true}, {ir.Lt, 4, 4, false},
+		{ir.Le, 4, 4, true}, {ir.Le, 5, 4, false},
+		{ir.Gt, 5, 4, true}, {ir.Gt, 4, 4, false},
+		{ir.Ge, 4, 4, true}, {ir.Ge, 3, 4, false},
+	}
+	for _, tc := range cases {
+		if got := cmp(tc.op, tc.x, tc.y); got != tc.want {
+			t.Errorf("cmp(%v, %d, %d) = %v, want %v", tc.op, tc.x, tc.y, got, tc.want)
+		}
+	}
+	if cmp(ir.CmpKind(99), 1, 2) {
+		t.Error("unknown comparison should be false")
+	}
+}
+
+// Property: cmp pairs are complementary (Lt ↔ Ge, Le ↔ Gt, Eq ↔ Ne).
+func TestCmpComplements(t *testing.T) {
+	prop := func(x, y int64) bool {
+		return cmp(ir.Lt, x, y) != cmp(ir.Ge, x, y) &&
+			cmp(ir.Le, x, y) != cmp(ir.Gt, x, y) &&
+			cmp(ir.Eq, x, y) != cmp(ir.Ne, x, y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitmix64(t *testing.T) {
+	// Deterministic, non-trivially distributed.
+	a, b := splitmix64(1), splitmix64(2)
+	if a == b {
+		t.Error("splitmix64 collides on adjacent inputs")
+	}
+	if splitmix64(1) != a {
+		t.Error("splitmix64 not deterministic")
+	}
+	// Bit spread: the outputs of 0..999 should cover both halves of the
+	// word in every byte position.
+	var orAll, andAll uint64 = 0, ^uint64(0)
+	for i := uint64(0); i < 1000; i++ {
+		v := splitmix64(i)
+		orAll |= v
+		andAll &= v
+	}
+	if orAll != ^uint64(0) {
+		t.Errorf("some bit never set: or=%x", orAll)
+	}
+	if andAll != 0 {
+		t.Errorf("some bit always set: and=%x", andAll)
+	}
+}
+
+// addrProc builds a process whose address streams can be inspected.
+func addrProc(t *testing.T) *Process {
+	t.Helper()
+	mb := ir.NewModuleBuilder("addr")
+	mb.Global("g", 1<<20)
+	f := mb.Function("main")
+	f.Return()
+	mb.SetEntry("main")
+	bin := compile(t, mb.MustBuild(), false)
+	m := New(Config{Cores: 1})
+	p, err := m.Attach(0, bin, ProcessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAddressPatterns(t *testing.T) {
+	p := addrProc(t)
+	p.sites = make([]siteState, 4)
+	size := uint64(1 << 16)
+
+	seq := isa.AddrGen{Base: 0x1000, Size: size, Pattern: ir.Seq, Stride: 64, Site: 0}
+	a1 := p.address(&seq)
+	a2 := p.address(&seq)
+	if a2 != a1+64 {
+		t.Errorf("Seq: %x then %x, want +64", a1, a2)
+	}
+	// Wrap-around.
+	p.sites[0].cursor = size - 64
+	aw := p.address(&seq)
+	if aw != p.base+0x1000+size-64 {
+		t.Errorf("Seq at end: %x", aw)
+	}
+	if p.sites[0].cursor != 0 {
+		t.Errorf("Seq cursor did not wrap: %d", p.sites[0].cursor)
+	}
+
+	rnd := isa.AddrGen{Base: 0x1000, Size: size, Pattern: ir.Rand, Site: 1}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		a := p.address(&rnd)
+		if a < p.base+0x1000 || a >= p.base+0x1000+size {
+			t.Fatalf("Rand out of region: %x", a)
+		}
+		if a%8 != 0 {
+			t.Fatalf("Rand not 8-aligned: %x", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 50 {
+		t.Errorf("Rand produced only %d distinct addresses in 100 draws", len(seen))
+	}
+
+	chase := isa.AddrGen{Base: 0x1000, Size: size, Pattern: ir.Chase, Site: 2}
+	c1 := p.address(&chase)
+	c2 := p.address(&chase)
+	if c1 == c2 {
+		t.Error("Chase did not advance")
+	}
+	// Chase is deterministic given cursor state.
+	p.sites[2].cursor = 0
+	d1 := p.address(&chase)
+	p.sites[2].cursor = 0
+	d2 := p.address(&chase)
+	if d1 != d2 {
+		t.Error("Chase not deterministic from equal state")
+	}
+
+	hot := isa.AddrGen{Base: 0x1000, Size: size, Pattern: ir.Hot, HotBytes: 4096, Site: 3}
+	inHot := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		a := p.address(&hot) - p.base - 0x1000
+		if a < 4096 {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / draws
+	if frac < 0.8 || frac > 0.95 {
+		t.Errorf("Hot: %.2f of draws in hot set, want ~7/8", frac)
+	}
+}
+
+func TestProcessAccessors(t *testing.T) {
+	bin := compile(t, streamModule(t, "acc", 1<<16), true)
+	m := New(Config{Cores: 2})
+	p, err := m.Attach(1, bin, ProcessOptions{Restart: true, Label: "relabeled"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Core() != 1 {
+		t.Errorf("Core = %d", p.Core())
+	}
+	if p.Name() != "relabeled" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Binary() != bin {
+		t.Error("Binary mismatch")
+	}
+	m.RunQuanta(1)
+	if pc := p.CurrentPC(); pc < 0 || pc >= len(p.code) {
+		t.Errorf("CurrentPC = %d out of range", pc)
+	}
+	if m.Process(1) != p || m.Process(0) != nil {
+		t.Error("Machine.Process lookup wrong")
+	}
+}
+
+func TestInstallVariantGrowsRegisterFrames(t *testing.T) {
+	// A variant with a larger register demand than any original function
+	// must invalidate the frame pool so new frames fit.
+	bin := compile(t, streamModule(t, "app", 1<<16), true)
+	m := New(Config{Cores: 1})
+	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	m.RunQuanta(5)
+
+	emb, err := bin.DecodeIR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the clone's register count artificially.
+	emb.Func("hot").MaxReg = p.maxReg + 32
+	vr, err := isa.LowerVariant(bin.Program, emb, "hot", 1, p.CodeCursor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallVariant(vr); err != nil {
+		t.Fatal(err)
+	}
+	if p.maxReg < vr.Info.MaxReg {
+		t.Errorf("maxReg %d not grown to %d", p.maxReg, vr.Info.MaxReg)
+	}
+	p.EVT().SetTarget(p.EVT().SlotFor("hot"), vr.Info.Entry)
+	m.RunQuanta(50) // must not panic on register access
+	if p.Counters().Insts == 0 {
+		t.Error("no progress after variant with larger frames")
+	}
+}
+
+func TestExecutionTrace(t *testing.T) {
+	bin := compile(t, streamModule(t, "traced", 1<<16), false)
+	m := New(Config{Cores: 1})
+	p, err := m.Attach(0, bin, ProcessOptions{Restart: true, TraceDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunQuanta(3)
+	tr := p.Trace()
+	if len(tr) != 64 {
+		t.Fatalf("trace length = %d, want full ring of 64", len(tr))
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Cycle < tr[i-1].Cycle {
+			t.Fatalf("trace not in cycle order at %d: %d < %d", i, tr[i].Cycle, tr[i-1].Cycle)
+		}
+	}
+	for _, e := range tr {
+		if e.PC < 0 || e.PC >= len(p.code) {
+			t.Fatalf("traced PC %d out of range", e.PC)
+		}
+	}
+	// Untracked process returns nil.
+	m2 := New(Config{Cores: 1})
+	p2, _ := m2.Attach(0, compile(t, streamModule(t, "x", 1<<16), false), ProcessOptions{Restart: true})
+	m2.RunQuanta(1)
+	if p2.Trace() != nil {
+		t.Error("untraced process returned a trace")
+	}
+}
+
+func TestTracePartialRing(t *testing.T) {
+	mb := ir.NewModuleBuilder("short")
+	mb.Global("g", 4096)
+	f := mb.Function("main")
+	f.Work(5)
+	f.Return()
+	mb.SetEntry("main")
+	bin := compile(t, mb.MustBuild(), false)
+	m := New(Config{Cores: 1})
+	p, _ := m.Attach(0, bin, ProcessOptions{TraceDepth: 1024})
+	m.RunQuanta(1)
+	tr := p.Trace()
+	// 5 work instrs + ret = 6 executed.
+	if len(tr) != 6 {
+		t.Fatalf("trace length = %d, want 6", len(tr))
+	}
+	if tr[0].PC != p.bin.Program.EntryPC {
+		t.Errorf("first traced PC = %d, want entry %d", tr[0].PC, p.bin.Program.EntryPC)
+	}
+}

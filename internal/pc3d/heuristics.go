@@ -1,0 +1,86 @@
+package pc3d
+
+import (
+	"repro/internal/ir"
+	"repro/internal/sampling"
+)
+
+// SearchSpace is the outcome of the variant-search-space reduction of
+// Section IV-C: from all static loads, down to loads in covered code
+// regions, down to loads at maximum loop depth, ordered by expected impact.
+type SearchSpace struct {
+	// TotalLoads counts every static load in the program ("Full Program"
+	// in Figure 8).
+	TotalLoads int
+	// Covered lists load IDs in functions that appear in PC samples
+	// ("Active Regions").
+	Covered []int
+	// Sites lists the load IDs PC3D actually searches ("Max Depth"):
+	// covered loads at the maximum loop nesting depth of their function,
+	// ordered by function hotness (descending) then load ID.
+	Sites []int
+	// FuncOf maps each search-site load ID to its enclosing function, so
+	// the controller recompiles only the function a flipped bit lives in.
+	FuncOf map[int]string
+}
+
+// BuildSearchSpace applies the reduction heuristics to a program's IR
+// given a PC-sample profile:
+//
+//   - Exclude Uncovered Code: drop loads in functions with zero samples.
+//   - Prioritize Hotter Code: order surviving loads by their function's
+//     sample count.
+//   - Only Innermost Loops: drop loads not at the function's maximum loop
+//     nesting depth.
+func BuildSearchSpace(mod *ir.Module, prof sampling.Profile) SearchSpace {
+	ss := SearchSpace{TotalLoads: mod.NumLoads, FuncOf: make(map[int]string)}
+	for _, fn := range prof.Hottest() {
+		f := mod.Func(fn)
+		if f == nil || !prof.Covered(fn) {
+			continue
+		}
+		lf := ir.BuildLoopForest(f)
+		for _, b := range f.Blocks {
+			atMax := lf.AtMaxDepth(b.Index)
+			for _, in := range b.Instrs {
+				ld, ok := in.(*ir.Load)
+				if !ok {
+					continue
+				}
+				ss.Covered = append(ss.Covered, ld.ID)
+				if atMax {
+					ss.Sites = append(ss.Sites, ld.ID)
+					ss.FuncOf[ld.ID] = fn
+				}
+			}
+		}
+	}
+	return ss
+}
+
+// Funcs returns the distinct functions containing search sites, hottest
+// first.
+func (ss SearchSpace) Funcs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range ss.Sites {
+		fn := ss.FuncOf[id]
+		if !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// ReductionFactors reports the Figure 8 ratios: total/covered and
+// total/maxdepth (0 when a stage is empty).
+func (ss SearchSpace) ReductionFactors() (coveredX, maxDepthX float64) {
+	if len(ss.Covered) > 0 {
+		coveredX = float64(ss.TotalLoads) / float64(len(ss.Covered))
+	}
+	if len(ss.Sites) > 0 {
+		maxDepthX = float64(ss.TotalLoads) / float64(len(ss.Sites))
+	}
+	return
+}

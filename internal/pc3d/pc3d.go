@@ -1,0 +1,583 @@
+// Package pc3d implements Protean Code for Cache Contention in Datacenters
+// (Section IV): a protean runtime policy that dynamically inserts and
+// removes non-temporal memory access hints in a batch host, mixing cache
+// pressure reduction with napping so that a high-priority co-runner meets
+// its QoS target while the host's throughput is maximized.
+//
+// PC3D is implemented entirely against the protean runtime's public
+// surface (core.Runtime), "requiring no changes to the basic protean code
+// compiler setup": it reads PC samples and the embedded IR to reduce the
+// variant search space (Section IV-C), walks the space with the greedy
+// search of Algorithm 1, evaluates each variant online with the nap-
+// intensity binary search of Algorithm 2, and reacts to host-phase and
+// co-phase changes by reverting and re-searching.
+package pc3d
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agentloop"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/phase"
+	"repro/internal/qos"
+	"repro/internal/sampling"
+)
+
+// Options tune the controller.
+type Options struct {
+	// Target is the co-runner QoS target (e.g. 0.95).
+	Target float64
+	// WarmupCycles precede the first decision (profile + solo estimates
+	// must exist). Default 200 ms.
+	WarmupCycles uint64
+	// SettleCycles follow every dispatch or nap change before measuring,
+	// covering the co-runner's cache re-warm transient. Default 150 ms.
+	SettleCycles uint64
+	// WindowCycles is the measurement window of one nap-intensity probe in
+	// Algorithm 2. It must dominate the co-runner's re-warm time (the
+	// scaled simulation re-warms a multi-MiB set in ~10^6 cycles).
+	// Default 150 ms.
+	WindowCycles uint64
+	// NapTolerance ends the binary search when the nap bracket is this
+	// tight. Default 0.1.
+	NapTolerance float64
+	// CheckCycles is the steady-state monitoring period. Default 200 ms.
+	CheckCycles uint64
+	// AdjustStep is the nap feedback step outside searches. Default 0.05.
+	AdjustStep float64
+	// PhaseThreshold feeds the co-phase detectors (0 = default).
+	PhaseThreshold float64
+	// MaxSites caps the number of load sites searched (0 = all). The paper
+	// searches all surviving sites; the cap exists for scaled-down bench
+	// runs.
+	MaxSites int
+	// NoBoundsReuse disables Algorithm 1's nap-bound shrinking: every
+	// variant evaluation binary-searches the full [0,1] nap range and the
+	// greedy pass never terminates early on a collapsed bracket. Ablation
+	// only; the paper's search always reuses bounds.
+	NoBoundsReuse bool
+	// Trace, when non-nil, receives search-decision log lines.
+	Trace func(format string, args ...any)
+}
+
+func (o Options) withDefaults(m *machine.Machine) Options {
+	ms := uint64(m.Config().FreqHz / 1000)
+	if o.Target == 0 {
+		o.Target = 0.95
+	}
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 200 * ms
+	}
+	if o.SettleCycles == 0 {
+		o.SettleCycles = 150 * ms
+	}
+	if o.WindowCycles == 0 {
+		o.WindowCycles = 150 * ms
+	}
+	if o.NapTolerance == 0 {
+		o.NapTolerance = 0.1
+	}
+	if o.CheckCycles == 0 {
+		o.CheckCycles = 200 * ms
+	}
+	if o.AdjustStep == 0 {
+		o.AdjustStep = 0.05
+	}
+	return o
+}
+
+// Stats expose controller activity for the evaluation harness.
+type Stats struct {
+	Searches     int
+	VariantEvals int
+	NapProbes    int
+	Compiles     int
+	PhaseChanges int
+	// SearchAborts counts searches abandoned because the co-phase changed
+	// mid-search (the measurements would mix phases).
+	SearchAborts int
+	// BestMaskSize is the hint count of the currently dispatched best
+	// variant (0 when running the original).
+	BestMaskSize int
+	// CurrentNap is the nap intensity currently applied.
+	CurrentNap float64
+}
+
+// Controller is the PC3D decision engine for one host/co-runner pair. It
+// implements machine.Agent.
+type Controller struct {
+	rt     *core.Runtime
+	host   *machine.Process
+	steady qos.Source
+	win    qos.WindowScorer
+	opts   Options
+
+	loop    *agentloop.Loop
+	space   SearchSpace
+	cophase *phase.CoPhase
+	extSig  func(m *machine.Machine) phase.Signature
+
+	// mask is the live hint vector (load ID → hinted).
+	mask map[int]bool
+	// cache maps per-function mask keys to compiled variants.
+	cache map[string]*core.Variant
+
+	hostMeter  *sampling.Meter
+	stats      Stats
+	searched   bool    // a search ran in the current co-phase
+	napFloor   float64 // the search's converged nap; steady relax stops here
+	violations int     // consecutive sub-target steady readings
+}
+
+// New builds a controller. rt must already be attached to the host and
+// registered on the machine; steady provides continuous QoS estimates
+// (e.g. *qos.FluxMonitor); win scores evaluation windows; extSig produces
+// the external app's phase signature each check (progress rate and, when
+// available, hot-code vector).
+func New(rt *core.Runtime, steady qos.Source, win qos.WindowScorer, extSig func(m *machine.Machine) phase.Signature, opts Options) *Controller {
+	c := &Controller{
+		rt:        rt,
+		host:      rt.Host(),
+		steady:    steady,
+		win:       win,
+		opts:      opts,
+		cophase:   phase.NewCoPhase(),
+		extSig:    extSig,
+		mask:      make(map[int]bool),
+		cache:     make(map[string]*core.Variant),
+		hostMeter: sampling.NewMeter(rt.Host()),
+	}
+	c.loop = agentloop.New(c.policy)
+	return c
+}
+
+// Tick implements machine.Agent.
+func (c *Controller) Tick(m *machine.Machine) { c.loop.Tick(m) }
+
+// Close stops the controller's policy goroutine.
+func (c *Controller) Close() { c.loop.Close() }
+
+// Stats returns a snapshot of controller activity.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.Compiles = int(c.rt.Compiles())
+	s.BestMaskSize = len(c.maskSet())
+	s.CurrentNap = c.host.NapIntensity()
+	return s
+}
+
+// Space returns the search space of the current phase (valid after the
+// first search).
+func (c *Controller) Space() SearchSpace { return c.space }
+
+func (c *Controller) maskSet() []int {
+	var ids []int
+	for id, on := range c.mask {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// policy is the sequential decision loop (runs on the agentloop goroutine).
+func (c *Controller) policy(l *agentloop.Loop) {
+	m := l.Wait()
+	if m == nil {
+		return
+	}
+	opts := c.opts.withDefaults(m)
+	c.opts = opts
+	if m = l.WaitCycles(opts.WarmupCycles); m == nil {
+		return
+	}
+	c.hostMeter.Read(m) // baseline
+
+	for {
+		if c.observePhases(m) {
+			// Co-phase change: revert to original code at full speed and
+			// re-evaluate from scratch (Section V-D's dynamic behaviour).
+			// The extra settle lets the co-runner's cache state and the
+			// flux windows flush the boundary transient before the next
+			// reading is trusted.
+			c.stats.PhaseChanges++
+			c.searched = false
+			c.violations = 0
+			c.setMaskOriginal()
+			c.setNap(0)
+			if m = l.WaitCycles(2 * opts.CheckCycles); m == nil {
+				return
+			}
+		}
+		q, ok := c.steady.QoS()
+		if ok && q >= opts.Target {
+			c.violations = 0
+		}
+		switch {
+		case !ok:
+			// No estimate yet; keep waiting.
+		case q >= opts.Target && c.host.NapIntensity() > 0 && !c.searched:
+			// Headroom before any search: relax the nap.
+			c.setNap(c.host.NapIntensity() - opts.AdjustStep)
+		case q >= opts.Target+0.04 && c.host.NapIntensity() > c.napFloor:
+			// Clear headroom after a search: relax gently toward the
+			// search's converged nap, never below it.
+			next := c.host.NapIntensity() - opts.AdjustStep/2
+			if next < c.napFloor {
+				next = c.napFloor
+			}
+			c.setNap(next)
+		case q >= opts.Target:
+			// Target met: hold.
+		case !c.searched:
+			// QoS violated in this co-phase. Isolated sub-target readings
+			// follow cold starts and phase boundaries (the co-runner's
+			// working set re-warms over a few hundred ms); three
+			// consecutive readings commit to the (expensive) search.
+			c.violations++
+			if c.violations >= 3 {
+				if m = c.runSearch(l, m); m == nil {
+					return
+				}
+			}
+		default:
+			// QoS violated after a search settled: feedback the nap up —
+			// capped below 1 so the host always trickles progress and its
+			// phase signature stays observable.
+			next := c.host.NapIntensity() + opts.AdjustStep
+			if next > 0.98 {
+				next = 0.98
+			}
+			c.setNap(next)
+		}
+		if m = l.WaitCycles(opts.CheckCycles); m == nil {
+			return
+		}
+	}
+}
+
+// observePhases feeds host and external signatures to the co-phase
+// detector.
+func (c *Controller) observePhases(m *machine.Machine) bool {
+	changed := false
+	hostProf := c.rt.Sampler().Window()
+	c.rt.Sampler().ResetWindow()
+	if hostProf.Total() > 0 {
+		sig := phase.Signature{Hot: hostProf.Normalized()}
+		if c.cophase.Observe("host", sig, c.opts.PhaseThreshold) {
+			changed = true
+		}
+	}
+	if c.extSig != nil {
+		if c.cophase.Observe("ext", c.extSig(m), c.opts.PhaseThreshold) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// runSearch executes Algorithm 1 over the current phase's search space.
+// A co-phase change mid-search aborts it: measurements from different
+// phases are not comparable, so the controller reverts to original code
+// and lets the monitoring loop re-decide in the new phase.
+func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.Machine {
+	c.stats.Searches++
+	c.searched = true
+
+	aborted := func(m *machine.Machine) bool {
+		if !c.observePhases(m) {
+			return false
+		}
+		c.stats.PhaseChanges++
+		c.stats.SearchAborts++
+		c.trace("search aborted: co-phase changed")
+		c.searched = false
+		c.violations = 0
+		c.setMaskOriginal()
+		c.setNap(0)
+		return true
+	}
+
+	prof := c.rt.Sampler().Lifetime()
+	c.space = BuildSearchSpace(c.rt.IR(), prof)
+	sites := c.space.Sites
+	if c.opts.MaxSites > 0 && len(sites) > c.opts.MaxSites {
+		sites = sites[:c.opts.MaxSites]
+	}
+	if len(sites) == 0 {
+		// Nothing to transform: pure napping fallback.
+		nap, _, mm := c.variantEvalMask(l, m, nil, 0, 1)
+		if mm == nil {
+			return nil
+		}
+		c.setNap(nap)
+		c.napFloor = nap
+		return mm
+	}
+
+	// Evaluate variant 0 (no hints) and variant 1 (all hints) to bound the
+	// nap range.
+	mask0 := map[int]bool{}
+	mask1 := make(map[int]bool, len(sites))
+	for _, id := range sites {
+		mask1[id] = true
+	}
+	nap0, r0, m2 := c.variantEvalMask(l, m, mask0, 0, 1)
+	if m2 == nil {
+		return nil
+	}
+	if aborted(m2) {
+		return m2
+	}
+	nap1, r1, m3 := c.variantEvalMask(l, m2, mask1, 0, 1)
+	if m3 == nil {
+		return nil
+	}
+	m = m3
+	if aborted(m) {
+		return m
+	}
+	c.trace("search: %d sites, nap0=%.3f r0=%.0f nap1=%.3f r1=%.0f", len(sites), nap0, r0, nap1, r1)
+	napUB, napLB := nap0, nap1
+	cur := cloneMask(mask1)
+	best := cloneMask(mask1)
+	bestNap, bestR := nap1, r1
+	// Variant 0 stays a candidate: when hints cost the host more than they
+	// relieve pressure (reuse-heavy hosts like bst), the original code at
+	// its measured nap is the right answer and the greedy pass — which can
+	// terminate immediately on a collapsed nap bracket — must not shadow it.
+	if r0 > bestR {
+		best = cloneMask(mask0)
+		bestNap, bestR = nap0, r0
+	}
+
+	// Greedy pass: revoke hints in decreasing-importance order, keeping
+	// revocations that improve host performance at QoS-satisfying nap.
+	for _, id := range sites {
+		if !c.opts.NoBoundsReuse && napLB >= napUB-1e-9 {
+			break
+		}
+		lb, ub := napLB, napUB
+		if c.opts.NoBoundsReuse {
+			lb, ub = 0, 1
+		}
+		cur[id] = false
+		napM, rM, mm := c.variantEvalMask(l, m, cur, lb, ub)
+		if mm == nil {
+			return nil
+		}
+		m = mm
+		if aborted(m) {
+			return m
+		}
+		if bestR < rM {
+			c.trace("  flip %d: ACCEPT nap=%.3f bps=%.0f (best was %.0f)", id, napM, rM, bestR)
+			bestR, bestNap = rM, napM
+			best = cloneMask(cur)
+			napUB = napM
+		} else {
+			c.trace("  flip %d: reject nap=%.3f bps=%.0f (best %.0f)", id, napM, rM, bestR)
+			cur[id] = true // reject the revocation
+		}
+	}
+
+	c.trace("search done: mask=%d nap=%.3f bps=%.0f", len(maskIDs(best)), bestNap, bestR)
+	// Dispatch the winner and settle at its nap intensity.
+	if mm := c.applyMask(l, m, best); mm == nil {
+		return nil
+	} else {
+		m = mm
+	}
+	c.setNap(bestNap)
+	c.napFloor = bestNap
+	return m
+}
+
+// variantEvalMask is Algorithm 2: dispatch the variant for mask, then
+// binary-search the nap intensity within [napLB, napUB] for the lowest
+// value satisfying the QoS target, returning that nap and the host's BPS
+// there.
+func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask map[int]bool, napLB, napUB float64) (nap, bps float64, out *machine.Machine) {
+	c.stats.VariantEvals++
+	if m = c.applyMask(l, m, mask); m == nil {
+		return 0, 0, nil
+	}
+	lo, hi := napLB, napUB
+	bps = 0
+	measure := func(at float64) (float64, float64, bool) {
+		c.setNap(at)
+		if m = l.WaitCycles(c.opts.SettleCycles); m == nil {
+			return 0, 0, false
+		}
+		c.win.Mark(m)
+		c.hostMeter.Read(m)
+		if m = l.WaitCycles(c.opts.WindowCycles); m == nil {
+			return 0, 0, false
+		}
+		q, _ := c.win.Score(m)
+		r := c.hostMeter.Read(m)
+		c.stats.NapProbes++
+		return q, r.BPS, true
+	}
+	loRaised := false
+	for hi-lo > c.opts.NapTolerance {
+		cur := (lo + hi) / 2
+		q, r, ok := measure(cur)
+		if !ok {
+			return 0, 0, nil
+		}
+		if q >= c.opts.Target {
+			hi = cur
+			bps = r
+		} else {
+			lo = cur
+			loRaised = true
+		}
+	}
+	if !loRaised && hi > lo {
+		// Every probe satisfied QoS, so the requirement may be the bracket
+		// floor itself (possibly zero nap). One extra probe resolves it —
+		// otherwise the tolerance would leave residual throttling on
+		// variants that need none.
+		q, r, ok := measure(lo)
+		if !ok {
+			return 0, 0, nil
+		}
+		if q >= c.opts.Target {
+			return lo, r, m
+		}
+	}
+	if bps == 0 {
+		// Bracket collapsed without a satisfying measurement (or the
+		// window never met QoS): measure once at the upper bound.
+		q, r, ok := measure(hi)
+		if !ok {
+			return 0, 0, nil
+		}
+		if q >= c.opts.Target {
+			bps = r
+		}
+	}
+	return hi, bps, m
+}
+
+// applyMask makes the host execute the variant described by mask:
+// functions whose bits are all clear revert to original code; others get a
+// (cached or freshly compiled) variant dispatched.
+func (c *Controller) applyMask(l *agentloop.Loop, m *machine.Machine, mask map[int]bool) *machine.Machine {
+	for _, fn := range c.space.Funcs() {
+		ids := c.funcSiteIDs(fn)
+		key := maskKey(fn, ids, mask)
+		anySet := false
+		for _, id := range ids {
+			if mask[id] {
+				anySet = true
+				break
+			}
+		}
+		if !anySet {
+			if c.rt.Dispatched(fn) != nil {
+				if err := c.rt.Revert(fn); err != nil {
+					panic(fmt.Sprintf("pc3d: revert %s: %v", fn, err))
+				}
+			}
+			continue
+		}
+		if v := c.cache[key]; v != nil {
+			if c.rt.Dispatched(fn) != v {
+				if err := c.rt.Dispatch(v); err != nil {
+					panic(fmt.Sprintf("pc3d: dispatch %s: %v", fn, err))
+				}
+			}
+			continue
+		}
+		// Compile asynchronously and wait for the runtime to deliver it.
+		var got *core.Variant
+		var cerr error
+		doneFlag := false
+		err := c.rt.RequestVariant(fn, core.NTTransform(cloneMask(mask)), key, func(v *core.Variant, err error) {
+			got, cerr, doneFlag = v, err, true
+		})
+		if err != nil {
+			panic(fmt.Sprintf("pc3d: request variant of %s: %v", fn, err))
+		}
+		for !doneFlag {
+			if m = l.Wait(); m == nil {
+				return nil
+			}
+		}
+		if cerr != nil {
+			panic(fmt.Sprintf("pc3d: compile %s: %v", fn, cerr))
+		}
+		c.cache[key] = got
+		if err := c.rt.Dispatch(got); err != nil {
+			panic(fmt.Sprintf("pc3d: dispatch %s: %v", fn, err))
+		}
+	}
+	c.mask = cloneMask(mask)
+	return m
+}
+
+func (c *Controller) funcSiteIDs(fn string) []int {
+	var ids []int
+	for _, id := range c.space.Sites {
+		if c.space.FuncOf[id] == fn {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (c *Controller) setMaskOriginal() {
+	c.rt.RevertAll()
+	c.mask = make(map[int]bool)
+}
+
+func (c *Controller) setNap(f float64) {
+	c.host.SetNapIntensity(f)
+}
+
+func (c *Controller) trace(format string, args ...any) {
+	if c.opts.Trace != nil {
+		c.opts.Trace(format, args...)
+	}
+}
+
+func maskIDs(m map[int]bool) []int {
+	var ids []int
+	for id, on := range m {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func cloneMask(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// maskKey identifies a function variant by the hinted subset of its sites.
+func maskKey(fn string, ids []int, mask map[int]bool) string {
+	var b strings.Builder
+	b.WriteString(fn)
+	b.WriteByte(':')
+	for _, id := range ids {
+		if mask[id] {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+	}
+	return b.String()
+}

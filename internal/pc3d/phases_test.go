@@ -1,0 +1,113 @@
+package pc3d
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/pcc"
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// phasedModule alternates between a contentious streaming phase and a
+// gentle compute phase within each work unit; each phase runs long enough
+// (hundreds of ms) for the PC sampler's hot vector to flip.
+func phasedModule() *ir.Module {
+	mb := ir.NewModuleBuilder("phased")
+	mb.Global("buf", 6<<20)
+
+	stream := mb.Function("stream_phase")
+	stream.Loop(400, func() {
+		for i := 0; i < 8; i++ {
+			stream.Load(ir.Access{Global: "buf", Pattern: ir.Seq, Stride: 64})
+		}
+	})
+	stream.Return()
+
+	compute := mb.Function("compute_phase")
+	compute.Loop(400, func() {
+		compute.Work(12)
+		compute.Load(ir.Access{Global: "buf", Pattern: ir.Hot, HotBytes: 32 << 10})
+	})
+	compute.Return()
+
+	main := mb.Function("main")
+	// Long segments (several simulated seconds each): the paper's phases
+	// dwarf the ~1 s variant search, and PC3D's design assumes that.
+	main.Loop(2000, func() { main.Call("stream_phase") })
+	main.Loop(6400, func() { main.Call("compute_phase") })
+	main.Return()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+// TestPC3DReactsToHostPhases drives the introspective path: the host
+// alternates phases, and the controller must detect the changes (reverting
+// to original code at each boundary) while keeping the co-runner at its
+// target through the contentious phases.
+func TestPC3DReactsToHostPhases(t *testing.T) {
+	extSpec := workload.MustByName("er-naive")
+
+	// Solo reference for the external app.
+	solo := machine.New(machine.Config{Cores: 2})
+	sb, _ := extSpec.CompilePlain()
+	sp, _ := solo.Attach(0, sb, machine.ProcessOptions{Restart: true})
+	solo.RunSeconds(0.5)
+	c0 := sp.Counters()
+	solo.RunSeconds(1.5)
+	extSolo := float64(sp.Counters().Sub(c0).Insts) / 1.5
+
+	m := machine.New(machine.Config{Cores: 4})
+	eb, _ := extSpec.CompilePlain()
+	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := pcc.Compile(phasedModule(), pcc.Options{Protean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddAgent(rt)
+	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)
+	flux.ReferenceIPS = extSolo
+	m.AddAgent(flux)
+	ctrl := New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ext}, extSigFromFlux(flux),
+		Options{Target: 0.95})
+	defer ctrl.Close()
+	m.AddAgent(ctrl)
+
+	m.RunSeconds(30) // a few long phase alternations
+
+	st := ctrl.Stats()
+	if st.PhaseChanges < 3 {
+		t.Errorf("PhaseChanges = %d, want >= 3 (host alternates phases)", st.PhaseChanges)
+	}
+	if st.Searches < 1 {
+		t.Errorf("Searches = %d, want >= 1", st.Searches)
+	}
+	// Long-run external QoS must stay healthy: contentious phases are
+	// mitigated, gentle phases run free. The window spans full phase
+	// cycles so boundary transients (detection lag, re-warm) amortize as
+	// they do over the paper's 300 s phases.
+	e0 := ext.Counters()
+	m.RunSeconds(12)
+	q := float64(ext.Counters().Sub(e0).Insts) / 12 / extSolo
+	if q < 0.82 {
+		t.Errorf("long-run external QoS = %.3f", q)
+	}
+	// The host must not be stuck fully napped.
+	h := host.Counters()
+	if h.NapCycles > h.Cycles*8/10 {
+		t.Errorf("host napped %.0f%% of its life", 100*float64(h.NapCycles)/float64(h.Cycles))
+	}
+}

@@ -1,0 +1,285 @@
+// Package pcsp implements Protean Code Software Prefetching: a second
+// protean runtime policy, demonstrating the paper's generality claim that
+// "once compiled with pcc, any protean code runtime can be used",
+// applying "different classes of optimizations in the pursuit of different
+// objectives to the same application binary" (Section III design
+// principles).
+//
+// Where PC3D is extrospective (it reshapes the host for its neighbours'
+// benefit), PCSP is purely introspective: it speeds the host itself up by
+// inserting lead prefetches ahead of streaming loads in hot innermost
+// loops — a structural IR transform, unlike PC3D's attribute-level hint
+// toggling. Candidate variants are generated online from the embedded IR,
+// dispatched through the EVT, measured empirically against the running
+// baseline, and kept only when they deliver a real gain.
+//
+// The simulated prefetch is idealized (a warmed line is immediately
+// available), so measured gains are upper bounds; the decision machinery —
+// profile-guided targeting, online A/B measurement, revert on regression —
+// is the point.
+package pcsp
+
+import (
+	"fmt"
+
+	"repro/internal/agentloop"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sampling"
+)
+
+// Options tune the optimizer.
+type Options struct {
+	// WarmupCycles precede profiling-based decisions (default 200 ms).
+	WarmupCycles uint64
+	// SettleCycles follow each dispatch before measuring (default 50 ms).
+	SettleCycles uint64
+	// WindowCycles is the BPS measurement window (default 100 ms).
+	WindowCycles uint64
+	// LeadIters are the candidate prefetch distances, in iterations ahead
+	// (default 4 and 16; lead bytes = iterations × stride).
+	LeadIters []int64
+	// MinGain is the relative BPS improvement required to keep a variant
+	// (default 0.03).
+	MinGain float64
+	// MaxFuncs bounds how many hot functions are optimized (default 3).
+	MaxFuncs int
+}
+
+func (o Options) withDefaults(m *machine.Machine) Options {
+	ms := uint64(m.Config().FreqHz / 1000)
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 200 * ms
+	}
+	if o.SettleCycles == 0 {
+		o.SettleCycles = 50 * ms
+	}
+	if o.WindowCycles == 0 {
+		o.WindowCycles = 100 * ms
+	}
+	if len(o.LeadIters) == 0 {
+		o.LeadIters = []int64{4, 16}
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.03
+	}
+	if o.MaxFuncs == 0 {
+		o.MaxFuncs = 3
+	}
+	return o
+}
+
+// Result records the outcome for one optimized function.
+type Result struct {
+	Func string
+	// Targets is how many streaming loads were prefetched.
+	Targets int
+	// LeadIters is the winning prefetch distance (0 when not kept).
+	LeadIters int64
+	// Gain is the best measured relative BPS improvement.
+	Gain float64
+	// Kept reports whether the variant stayed dispatched.
+	Kept bool
+}
+
+// Controller runs the optimization pass. It implements machine.Agent.
+type Controller struct {
+	rt   *core.Runtime
+	opts Options
+	loop *agentloop.Loop
+
+	meter   *sampling.Meter
+	results []Result
+	done    bool
+}
+
+// New builds a controller over an attached runtime.
+func New(rt *core.Runtime, opts Options) *Controller {
+	c := &Controller{rt: rt, opts: opts, meter: sampling.NewMeter(rt.Host())}
+	c.loop = agentloop.New(c.policy)
+	return c
+}
+
+// Tick implements machine.Agent.
+func (c *Controller) Tick(m *machine.Machine) { c.loop.Tick(m) }
+
+// Close stops the policy goroutine.
+func (c *Controller) Close() { c.loop.Close() }
+
+// Done reports whether the optimization pass finished.
+func (c *Controller) Done() bool { return c.done }
+
+// Results lists per-function outcomes (valid once Done).
+func (c *Controller) Results() []Result { return c.results }
+
+// streamTargets returns the IDs of prefetchable loads: innermost-loop
+// sequential loads of fn.
+func streamTargets(mod *ir.Module, fn string) []int {
+	f := mod.Func(fn)
+	if f == nil {
+		return nil
+	}
+	lf := ir.BuildLoopForest(f)
+	if lf.MaxDepth == 0 {
+		return nil
+	}
+	var ids []int
+	for _, b := range f.Blocks {
+		if !lf.AtMaxDepth(b.Index) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if ld, ok := in.(*ir.Load); ok && ld.Acc.Pattern == ir.Seq && !ld.NT {
+				ids = append(ids, ld.ID)
+			}
+		}
+	}
+	return ids
+}
+
+// leadPrefetchTransform inserts a lead prefetch before every targeted load
+// of fn. The prefetch shares the load's MemID, so it peeks the same stream
+// cursor the load advances.
+func leadPrefetchTransform(fn string, targets map[int]bool, iters int64) core.Transform {
+	return func(m *ir.Module) error {
+		f := m.Func(fn)
+		if f == nil {
+			return fmt.Errorf("pcsp: function %q not in module", fn)
+		}
+		for _, b := range f.Blocks {
+			var out []ir.Instr
+			for _, in := range b.Instrs {
+				if ld, ok := in.(*ir.Load); ok && targets[ld.ID] {
+					stride := ld.Acc.Stride
+					if stride == 0 {
+						stride = 8
+					}
+					out = append(out, &ir.Prefetch{
+						Acc: ld.Acc, MemID: ld.MemID, Lead: iters * stride,
+					})
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		return nil
+	}
+}
+
+// policy is the sequential optimization pass.
+func (c *Controller) policy(l *agentloop.Loop) {
+	m := l.Wait()
+	if m == nil {
+		return
+	}
+	c.opts = c.opts.withDefaults(m)
+	if m = l.WaitCycles(c.opts.WarmupCycles); m == nil {
+		return
+	}
+
+	prof := c.rt.Sampler().Lifetime()
+	optimized := 0
+	for _, fn := range prof.Hottest() {
+		if optimized >= c.opts.MaxFuncs {
+			break
+		}
+		ids := streamTargets(c.rt.IR(), fn)
+		if len(ids) == 0 {
+			continue
+		}
+		optimized++
+		targets := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			targets[id] = true
+		}
+
+		baseline, ok := c.measureBPS(l, &m)
+		if !ok {
+			return
+		}
+		res := Result{Func: fn, Targets: len(ids)}
+		var bestVariant *core.Variant
+		for _, iters := range c.opts.LeadIters {
+			v, ok := c.compileDispatch(l, &m, fn, targets, iters)
+			if !ok {
+				return
+			}
+			if v == nil {
+				continue // compile failed; skip this candidate
+			}
+			bps, ok := c.measureBPS(l, &m)
+			if !ok {
+				return
+			}
+			gain := bps/baseline - 1
+			if gain > res.Gain {
+				res.Gain = gain
+				res.LeadIters = iters
+				bestVariant = v
+			}
+		}
+		if res.Gain >= c.opts.MinGain && bestVariant != nil {
+			if c.rt.Dispatched(fn) != bestVariant {
+				if err := c.rt.Dispatch(bestVariant); err == nil {
+					res.Kept = true
+				}
+			} else {
+				res.Kept = true
+			}
+		}
+		if !res.Kept {
+			res.LeadIters = 0
+			if err := c.rt.Revert(fn); err != nil {
+				// The function may not be virtualized; nothing to revert.
+				res.Kept = false
+			}
+		}
+		c.results = append(c.results, res)
+	}
+	c.done = true
+	// Optimization is one-shot; keep absorbing ticks.
+	for l.Wait() != nil {
+	}
+}
+
+// measureBPS settles then measures the host's branches per second.
+func (c *Controller) measureBPS(l *agentloop.Loop, m **machine.Machine) (float64, bool) {
+	mm := l.WaitCycles(c.opts.SettleCycles)
+	if mm == nil {
+		return 0, false
+	}
+	c.meter.Read(mm)
+	mm = l.WaitCycles(c.opts.WindowCycles)
+	if mm == nil {
+		return 0, false
+	}
+	*m = mm
+	return c.meter.Read(mm).BPS, true
+}
+
+// compileDispatch requests, waits for, and dispatches one candidate.
+func (c *Controller) compileDispatch(l *agentloop.Loop, m **machine.Machine, fn string, targets map[int]bool, iters int64) (*core.Variant, bool) {
+	var got *core.Variant
+	var cerr error
+	doneFlag := false
+	err := c.rt.RequestVariant(fn, leadPrefetchTransform(fn, targets, iters), iters,
+		func(v *core.Variant, err error) { got, cerr, doneFlag = v, err, true })
+	if err != nil {
+		return nil, true
+	}
+	for !doneFlag {
+		mm := l.Wait()
+		if mm == nil {
+			return nil, false
+		}
+		*m = mm
+	}
+	if cerr != nil {
+		return nil, true
+	}
+	if err := c.rt.Dispatch(got); err != nil {
+		return nil, true
+	}
+	return got, true
+}

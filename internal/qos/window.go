@@ -1,0 +1,83 @@
+package qos
+
+import (
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+)
+
+// WindowScorer scores the protected application over caller-defined
+// measurement windows. PC3D's variant evaluation (Algorithm 2) opens a
+// window after dispatching a variant and setting a nap intensity, lets it
+// run, and scores co-runner QoS over exactly that window.
+type WindowScorer interface {
+	// Mark starts a window at the current machine time.
+	Mark(m *machine.Machine)
+	// Score returns the QoS over the window since Mark; ok is false when
+	// the window carries no signal (zero length, no reference).
+	Score(m *machine.Machine) (q float64, ok bool)
+}
+
+// FluxWindow scores windows as external-app IPS against a FluxMonitor's
+// solo estimate.
+type FluxWindow struct {
+	Flux *FluxMonitor
+	Ext  *machine.Process
+
+	markInsts  uint64
+	markSleep  uint64
+	markCycles uint64
+}
+
+// Mark snapshots the external app's counters.
+func (w *FluxWindow) Mark(m *machine.Machine) {
+	c := w.Ext.Counters()
+	w.markInsts = c.Insts
+	w.markSleep = c.SleepCycles
+	w.markCycles = m.Now()
+}
+
+// Score computes windowed IPS → QoS. Time the external app spent in flux-
+// probe sleeps is excluded from the window length (probes would otherwise
+// bias windows that happen to contain one).
+func (w *FluxWindow) Score(m *machine.Machine) (float64, bool) {
+	c := w.Ext.Counters()
+	cycles := m.Now() - w.markCycles
+	sleep := c.SleepCycles - w.markSleep
+	if cycles <= sleep {
+		return 0, false
+	}
+	secs := float64(cycles-sleep) / m.Config().FreqHz
+	ips := float64(c.Insts-w.markInsts) / secs
+	return w.Flux.QoSOf(ips)
+}
+
+// ThroughputWindow scores windows as served/offered requests of a gated
+// service.
+type ThroughputWindow struct {
+	Proc *machine.Process
+	Gen  *loadgen.Generator
+
+	markServed  uint64
+	markOffered uint64
+}
+
+// Mark snapshots request counters.
+func (w *ThroughputWindow) Mark(m *machine.Machine) {
+	w.markServed = w.Proc.Counters().Completions
+	w.markOffered = w.Gen.Offered()
+}
+
+// Score returns served/offered since Mark, discounted when a backlog is
+// outstanding.
+func (w *ThroughputWindow) Score(m *machine.Machine) (float64, bool) {
+	served := w.Proc.Counters().Completions - w.markServed
+	offered := w.Gen.Offered() - w.markOffered
+	if offered == 0 {
+		return 1, true
+	}
+	q := clamp01(float64(served) / float64(offered))
+	if backlog := w.Proc.WorkBudget(); backlog > offered/2 {
+		q = clamp01(q / (1 + float64(backlog)/float64(offered)))
+	}
+	return q, true
+}

@@ -1,0 +1,109 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestFluxWindowScoresContention(t *testing.T) {
+	ref := soloIPS(t)
+	m, host, ext := colocate(t, "lbm")
+	flux := NewFluxMonitor(m, host, ext, 0, 0)
+	flux.ReferenceIPS = ref
+	m.AddAgent(flux)
+	w := &FluxWindow{Flux: flux, Ext: ext}
+
+	m.RunSeconds(0.5)
+	// Contended window: QoS well below 1.
+	w.Mark(m)
+	m.RunSeconds(0.3)
+	q1, ok := w.Score(m)
+	if !ok {
+		t.Fatal("no score")
+	}
+	if q1 > 0.9 {
+		t.Errorf("contended window QoS = %.3f, want < 0.9", q1)
+	}
+	// Host fully napped: the next window must score much higher.
+	host.SetNapIntensity(1)
+	m.RunSeconds(0.3) // settle + rewarm
+	w.Mark(m)
+	m.RunSeconds(0.3)
+	q2, ok := w.Score(m)
+	if !ok {
+		t.Fatal("no score")
+	}
+	if q2 < q1+0.1 {
+		t.Errorf("napped window QoS %.3f not clearly above contended %.3f", q2, q1)
+	}
+}
+
+func TestFluxWindowZeroLength(t *testing.T) {
+	ref := soloIPS(t)
+	m, host, ext := colocate(t, "lbm")
+	flux := NewFluxMonitor(m, host, ext, 0, 0)
+	flux.ReferenceIPS = ref
+	w := &FluxWindow{Flux: flux, Ext: ext}
+	w.Mark(m)
+	if _, ok := w.Score(m); ok {
+		t.Error("zero-length window scored")
+	}
+}
+
+func TestThroughputWindow(t *testing.T) {
+	spec := workload.MustByName("web-search")
+	bin, err := spec.CompilePlain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Cores: 1})
+	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+
+	cm := machine.New(machine.Config{Cores: 1})
+	b2, _ := spec.CompilePlain()
+	cp, _ := cm.Attach(0, b2, spec.ProcessOptions())
+	capacity := loadgen.MeasureCapacity(cm, cp, 1000)
+
+	gen := loadgen.NewGenerator(p, loadgen.Constant(0.3), capacity)
+	m.AddAgent(gen)
+	w := &ThroughputWindow{Proc: p, Gen: gen}
+
+	m.RunSeconds(0.3)
+	w.Mark(m)
+	m.RunSeconds(0.5)
+	q, ok := w.Score(m)
+	if !ok {
+		t.Fatal("no score")
+	}
+	if q < 0.95 {
+		t.Errorf("uncontended low-load window QoS = %.3f, want ~1", q)
+	}
+	// Throttle the server hard: served/offered collapses.
+	p.SetNapIntensity(0.97)
+	m.RunSeconds(0.3)
+	w.Mark(m)
+	m.RunSeconds(0.5)
+	q2, _ := w.Score(m)
+	if q2 > 0.8 {
+		t.Errorf("throttled window QoS = %.3f, want low", q2)
+	}
+}
+
+func TestThroughputWindowNoOffered(t *testing.T) {
+	spec := workload.MustByName("web-search")
+	bin, _ := spec.CompilePlain()
+	m := machine.New(machine.Config{Cores: 1})
+	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	gen := loadgen.NewGenerator(p, loadgen.Constant(0), 1000)
+	m.AddAgent(gen)
+	w := &ThroughputWindow{Proc: p, Gen: gen}
+	w.Mark(m)
+	m.RunSeconds(0.2)
+	q, ok := w.Score(m)
+	if !ok || q != 1 {
+		t.Errorf("no-offered-load window = %.3f,%v; want 1,true", q, ok)
+	}
+}

@@ -1,0 +1,104 @@
+// Package reqos implements the paper's baseline contention-mitigation
+// system: ReQoS-style reactive napping (Tang et al., ASPLOS 2013).
+//
+// ReQoS protects a high-priority co-runner by throttling the low-priority
+// host with naps of varying intensity — and nothing else. It cannot
+// transform the host's code, so any cache pressure the host generates
+// while awake is paid for entirely with sleep time. PC3D uses the same
+// napping mechanism as its fallback, which is why the two systems coincide
+// on hosts whose pressure hints cannot remove (Section V-C).
+package reqos
+
+import (
+	"repro/internal/machine"
+	"repro/internal/qos"
+)
+
+// Options tune the reactive controller.
+type Options struct {
+	// Target is the co-runner QoS target.
+	Target float64
+	// CheckCycles is the reaction period; it should match the QoS
+	// source's update rate so each reaction sees a fresh estimate
+	// (default 400 ms, the flux monitor's period).
+	CheckCycles uint64
+	// Gain scales the nap increase per unit of QoS deficit (default 1.0).
+	Gain float64
+	// StepDown is the nap relaxation step when QoS has headroom
+	// (default 0.02).
+	StepDown float64
+	// Headroom above target before relaxing (default 0.02).
+	Headroom float64
+}
+
+func (o Options) withDefaults(m *machine.Machine) Options {
+	if o.Target == 0 {
+		o.Target = 0.95
+	}
+	if o.CheckCycles == 0 {
+		o.CheckCycles = 400 * uint64(m.Config().FreqHz/1000)
+	}
+	if o.Gain == 0 {
+		o.Gain = 1.0
+	}
+	if o.StepDown == 0 {
+		o.StepDown = 0.02
+	}
+	if o.Headroom == 0 {
+		o.Headroom = 0.02
+	}
+	return o
+}
+
+// Controller reactively adjusts the host's nap intensity to keep the
+// co-runner at its QoS target. It implements machine.Agent.
+type Controller struct {
+	host *machine.Process
+	src  qos.Source
+	opts Options
+
+	initialized bool
+	nextCheck   uint64
+	adjustments int
+}
+
+// New builds a controller over the host, reading QoS from src.
+func New(host *machine.Process, src qos.Source, opts Options) *Controller {
+	return &Controller{host: host, src: src, opts: opts}
+}
+
+// Tick applies one reactive step per check period.
+func (c *Controller) Tick(m *machine.Machine) {
+	if !c.initialized {
+		c.opts = c.opts.withDefaults(m)
+		c.initialized = true
+	}
+	now := m.Now()
+	if now < c.nextCheck {
+		return
+	}
+	c.nextCheck = now + c.opts.CheckCycles
+	q, ok := c.src.QoS()
+	if !ok {
+		return
+	}
+	nap := c.host.NapIntensity()
+	switch {
+	case q < c.opts.Target:
+		deficit := c.opts.Target - q
+		c.host.SetNapIntensity(nap + deficit*c.opts.Gain)
+		c.adjustments++
+	case q > c.opts.Target+c.opts.Headroom && nap > 0:
+		step := c.opts.StepDown
+		if q >= 0.99 {
+			// Saturated QoS gives no gradient; relax aggressively to
+			// rediscover the constraint (load may have dropped away).
+			step *= 8
+		}
+		c.host.SetNapIntensity(nap - step)
+		c.adjustments++
+	}
+}
+
+// Adjustments counts nap changes made.
+func (c *Controller) Adjustments() int { return c.adjustments }

@@ -1,0 +1,500 @@
+package workload
+
+import "repro/internal/ir"
+
+// Catalog returns every application specification. Static load counts of
+// the ten batch hosts track Figure 8's published totals (blockie 64, bst
+// 70, er-naive 25, sledge 35, bzip2 2582, milc 3632, soplex 15666,
+// libquantum 636, lbm 257, sphinx3 4963).
+func Catalog() []Spec {
+	return []Spec{
+		// ---------------------------------------------------------- SmashBench
+		{
+			Name: "blockie", Class: Batch, Suite: "SmashBench",
+			Description: "blocked-memory aggressor: parallel streams over a 2.5 MiB block array",
+			Config: AppConfig{
+				Name:    "blockie",
+				Globals: []GlobalSpec{{Name: "blocks", Size: 5 << 19}}, // 2.5 MiB
+				Hot: []HotFunc{{
+					Name: "smash", Depth: 2, InnerTrip: 200, OuterTrip: 4,
+					Loads: repeatLoads(12, LoadSpec{Global: "blocks", Pattern: ir.Seq, Stride: 64}),
+					Work:  1, Weight: 1, ShallowLoads: 28,
+				}},
+				ColdFuncs: 4, ColdLoadsPerFunc: 6, ColdGlobal: "blocks",
+			},
+		},
+		{
+			Name: "bst", Class: Batch, Suite: "SmashBench",
+			Description: "binary-search-tree walker: pointer chases over a 3 MiB tree",
+			Config: AppConfig{
+				Name:    "bst",
+				Globals: []GlobalSpec{{Name: "tree", Size: 3 << 20}},
+				Hot: []HotFunc{{
+					Name: "walk", Depth: 1, InnerTrip: 300,
+					Loads: repeatLoads(8, LoadSpec{Global: "tree", Pattern: ir.Chase}),
+					Work:  2, Weight: 1, ShallowLoads: 30,
+				}},
+				ColdFuncs: 4, ColdLoadsPerFunc: 8, ColdGlobal: "tree",
+			},
+		},
+		{
+			Name: "er-naive", Class: Batch, Suite: "SmashBench",
+			Description: "naive edge-relaxation: uniform random over a 1.75 MiB edge set (cache-sensitive)",
+			Config: AppConfig{
+				Name:    "er-naive",
+				Globals: []GlobalSpec{{Name: "edges", Size: 7 << 18}}, // 1.75 MiB
+				Hot: []HotFunc{{
+					Name: "relax", Depth: 1, InnerTrip: 400,
+					Loads: repeatLoads(6, LoadSpec{Global: "edges", Pattern: ir.Rand}),
+					Work:  2, Weight: 1, ShallowLoads: 9,
+				}},
+				ColdFuncs: 2, ColdLoadsPerFunc: 5, ColdGlobal: "edges",
+			},
+		},
+		{
+			Name: "sledge", Class: Batch, Suite: "SmashBench",
+			Description: "sledgehammer: maximum-bandwidth stream over a 6 MiB slab",
+			Config: AppConfig{
+				Name:    "sledge",
+				Globals: []GlobalSpec{{Name: "slab", Size: 6 << 20}},
+				Hot: []HotFunc{{
+					Name: "pound", Depth: 1, InnerTrip: 400,
+					Loads: repeatLoads(8, LoadSpec{Global: "slab", Pattern: ir.Seq, Stride: 64}),
+					Work:  0, Weight: 1, ShallowLoads: 13,
+				}},
+				ColdFuncs: 2, ColdLoadsPerFunc: 7, ColdGlobal: "slab",
+			},
+		},
+		// ---------------------------------------------------------- SPEC batch
+		{
+			Name: "bzip2", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "compute-bound compressor: warm 64 KiB hot set inside 256 KiB data",
+			Config: AppConfig{
+				Name:    "bzip2",
+				Globals: []GlobalSpec{{Name: "data", Size: 256 << 10}},
+				Hot: []HotFunc{
+					{
+						Name: "compress", Depth: 2, InnerTrip: 80, OuterTrip: 4,
+						Loads: repeatLoads(20, LoadSpec{Global: "data", Pattern: ir.Hot, HotBytes: 64 << 10}),
+						Work:  10, Weight: 1, ShallowLoads: 101,
+					},
+					{
+						Name: "huffman", Depth: 2, InnerTrip: 80, OuterTrip: 4,
+						Loads: repeatLoads(20, LoadSpec{Global: "data", Pattern: ir.Hot, HotBytes: 64 << 10}),
+						Work:  10, Weight: 1, ShallowLoads: 101,
+					},
+				},
+				ColdFuncs: 39, ColdLoadsPerFunc: 60, ColdGlobal: "data",
+			},
+		},
+		{
+			Name: "milc", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "lattice QCD: fine-stride streams over a 4 MiB lattice, deep loop nests",
+			Config: AppConfig{
+				Name:    "milc",
+				Globals: []GlobalSpec{{Name: "lattice", Size: 4 << 20}},
+				Hot: []HotFunc{
+					{
+						Name: "mult_su3", Depth: 3, InnerTrip: 50, OuterTrip: 4,
+						Loads: repeatLoads(20, LoadSpec{Global: "lattice", Pattern: ir.Seq, Stride: 16}),
+						Work:  2, Weight: 1, ShallowLoads: 80,
+					},
+					{
+						Name: "add_force", Depth: 3, InnerTrip: 50, OuterTrip: 4,
+						Loads: repeatLoads(20, LoadSpec{Global: "lattice", Pattern: ir.Seq, Stride: 16}),
+						Work:  2, Weight: 1, ShallowLoads: 80,
+					},
+					{
+						Name: "gauge_field", Depth: 3, InnerTrip: 50, OuterTrip: 4,
+						Loads: repeatLoads(20, LoadSpec{Global: "lattice", Pattern: ir.Seq, Stride: 16}),
+						Work:  2, Weight: 1, ShallowLoads: 80,
+					},
+				},
+				ColdFuncs: 49, ColdLoadsPerFunc: 68, ColdGlobal: "lattice",
+			},
+		},
+		{
+			Name: "soplex", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "LP solver: random sparse-matrix access (2.5 MiB) plus dense vector streams",
+			Config: AppConfig{
+				Name: "soplex",
+				Globals: []GlobalSpec{
+					{Name: "matrix", Size: 5 << 19}, // 2.5 MiB
+					{Name: "vec", Size: 1 << 20},
+				},
+				Hot: []HotFunc{
+					{
+						Name: "price", Depth: 2, InnerTrip: 60, OuterTrip: 4,
+						Loads: repeatLoads(19, LoadSpec{Global: "matrix", Pattern: ir.Rand}),
+						Work:  2, Weight: 1, ShallowLoads: 434,
+					},
+					{
+						Name: "ratiotest", Depth: 2, InnerTrip: 60, OuterTrip: 4,
+						Loads: repeatLoads(19, LoadSpec{Global: "vec", Pattern: ir.Seq, Stride: 8}),
+						Work:  2, Weight: 1, ShallowLoads: 434,
+					},
+					{
+						Name: "update", Depth: 2, InnerTrip: 60, OuterTrip: 4,
+						Loads: repeatLoads(19, LoadSpec{Global: "matrix", Pattern: ir.Rand}),
+						Work:  2, Weight: 1, ShallowLoads: 433,
+					},
+				},
+				ColdFuncs: 98, ColdLoadsPerFunc: 146, ColdGlobal: "matrix",
+			},
+		},
+		{
+			Name: "libquantum", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "quantum simulator: 16-byte-stride streams over a 4 MiB state vector",
+			Config: AppConfig{
+				Name:    "libquantum",
+				Globals: []GlobalSpec{{Name: "state", Size: 4 << 20}},
+				Hot: []HotFunc{
+					{
+						Name: "toffoli", Depth: 2, InnerTrip: 150, OuterTrip: 8,
+						Loads: repeatLoads(8, LoadSpec{Global: "state", Pattern: ir.Seq, Stride: 16}),
+						Work:  1, Weight: 1, ShallowLoads: 20,
+					},
+					{
+						Name: "sigma_x", Depth: 2, InnerTrip: 150, OuterTrip: 8,
+						Loads: repeatLoads(6, LoadSpec{Global: "state", Pattern: ir.Seq, Stride: 16}),
+						Work:  1, Weight: 1, ShallowLoads: 19,
+					},
+				},
+				ColdFuncs: 11, ColdLoadsPerFunc: 53, ColdGlobal: "state",
+			},
+		},
+		{
+			Name: "lbm", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "lattice-Boltzmann: line-stride streams over an 8 MiB grid (heaviest streamer)",
+			Config: AppConfig{
+				Name:    "lbm",
+				Globals: []GlobalSpec{{Name: "grid", Size: 8 << 20}},
+				Hot: []HotFunc{
+					{
+						Name: "stream_collide", Depth: 2, InnerTrip: 150, OuterTrip: 4,
+						Loads: repeatLoads(12, LoadSpec{Global: "grid", Pattern: ir.Seq, Stride: 64}),
+						Work:  1, Weight: 1, ShallowLoads: 21,
+					},
+					{
+						Name: "handle_walls", Depth: 2, InnerTrip: 150, OuterTrip: 4,
+						Loads: repeatLoads(12, LoadSpec{Global: "grid", Pattern: ir.Seq, Stride: 64}),
+						Work:  1, Weight: 1, ShallowLoads: 20,
+					},
+				},
+				ColdFuncs: 12, ColdLoadsPerFunc: 16, ColdGlobal: "grid",
+			},
+		},
+		{
+			Name: "sphinx3", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "speech recognition: acoustic-model hot set plus language-model streams",
+			Config: AppConfig{
+				Name: "sphinx3",
+				Globals: []GlobalSpec{
+					{Name: "am", Size: 3 << 20},
+					{Name: "lm", Size: 5 << 19}, // 2.5 MiB
+				},
+				Hot: []HotFunc{
+					{
+						Name: "gmm_score", Depth: 2, InnerTrip: 70, OuterTrip: 4,
+						Loads: repeatLoads(29, LoadSpec{Global: "am", Pattern: ir.Hot, HotBytes: 768 << 10}),
+						Work:  3, Weight: 1, ShallowLoads: 74,
+					},
+					{
+						Name: "senone_eval", Depth: 2, InnerTrip: 70, OuterTrip: 4,
+						Loads: repeatLoads(29, LoadSpec{Global: "am", Pattern: ir.Hot, HotBytes: 768 << 10}),
+						Work:  3, Weight: 1, ShallowLoads: 74,
+					},
+					{
+						Name: "lm_walk", Depth: 2, InnerTrip: 70, OuterTrip: 4,
+						Loads: repeatLoads(29, LoadSpec{Global: "lm", Pattern: ir.Seq, Stride: 32}),
+						Work:  2, Weight: 1, ShallowLoads: 74,
+					},
+					{
+						Name: "lm_backoff", Depth: 2, InnerTrip: 70, OuterTrip: 4,
+						Loads: repeatLoads(29, LoadSpec{Global: "lm", Pattern: ir.Seq, Stride: 32}),
+						Work:  2, Weight: 1, ShallowLoads: 75,
+					},
+				},
+				ColdFuncs: 65, ColdLoadsPerFunc: 70, ColdGlobal: "am",
+			},
+		},
+		// ------------------------------------------------------- CloudSuite LS
+		{
+			Name: "web-search", Class: LatencySensitive, Suite: "CloudSuite",
+			Description: "search service: per-query random probes of a 1.75 MiB index shard",
+			Config: AppConfig{
+				Name:    "web-search",
+				Globals: []GlobalSpec{{Name: "index", Size: 7 << 18}},
+				Hot: []HotFunc{{
+					Name: "score", Depth: 1, InnerTrip: 40,
+					Loads: repeatLoads(5, LoadSpec{Global: "index", Pattern: ir.Rand}),
+					Work:  3, Weight: 1, ShallowLoads: 40,
+				}},
+				ColdFuncs: 6, ColdLoadsPerFunc: 30, ColdGlobal: "index",
+				MainWork: 4,
+			},
+		},
+		{
+			Name: "media-streaming", Class: LatencySensitive, Suite: "CloudSuite",
+			Description: "streaming service: random chunk-map lookups over 2 MiB (most contention-sensitive)",
+			Config: AppConfig{
+				Name:    "media-streaming",
+				Globals: []GlobalSpec{{Name: "chunkmap", Size: 2 << 20}},
+				Hot: []HotFunc{{
+					Name: "serve_chunk", Depth: 1, InnerTrip: 50,
+					Loads: repeatLoads(6, LoadSpec{Global: "chunkmap", Pattern: ir.Rand}),
+					Work:  1, Weight: 1, ShallowLoads: 36,
+				}},
+				ColdFuncs: 5, ColdLoadsPerFunc: 24, ColdGlobal: "chunkmap",
+				MainWork: 2,
+			},
+		},
+		{
+			Name: "graph-analytics", Class: LatencySensitive, Suite: "CloudSuite",
+			Description: "graph service: pointer chases over a 1.5 MiB graph plus property reads",
+			Config: AppConfig{
+				Name: "graph-analytics",
+				Globals: []GlobalSpec{
+					{Name: "graph", Size: 3 << 19}, // 1.5 MiB
+					{Name: "props", Size: 512 << 10},
+				},
+				Hot: []HotFunc{{
+					Name: "traverse", Depth: 1, InnerTrip: 40,
+					Loads: append(
+						repeatLoads(4, LoadSpec{Global: "graph", Pattern: ir.Chase}),
+						repeatLoads(2, LoadSpec{Global: "props", Pattern: ir.Rand})...),
+					Work: 2, Weight: 1, ShallowLoads: 44,
+				}},
+				ColdFuncs: 7, ColdLoadsPerFunc: 26, ColdGlobal: "graph",
+				MainWork: 3,
+			},
+		},
+		// --------------------------- additional SPEC apps (Figures 4–6 roster)
+		{
+			Name: "gcc", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "compiler: branchy passes over a warm 256 KiB IR pool",
+			Config: AppConfig{
+				Name:    "gcc",
+				Globals: []GlobalSpec{{Name: "irpool", Size: 1 << 20}},
+				Hot: []HotFunc{
+					{
+						Name: "combine", Depth: 1, InnerTrip: 12,
+						Loads: repeatLoads(3, LoadSpec{Global: "irpool", Pattern: ir.Hot, HotBytes: 256 << 10}),
+						Work:  2, Weight: 6, ShallowLoads: 120,
+					},
+					{
+						Name: "reload", Depth: 1, InnerTrip: 10,
+						Loads: repeatLoads(3, LoadSpec{Global: "irpool", Pattern: ir.Hot, HotBytes: 128 << 10}),
+						Work:  2, Weight: 6, ShallowLoads: 120,
+					},
+				},
+				ColdFuncs: 30, ColdLoadsPerFunc: 40, ColdGlobal: "irpool",
+			},
+		},
+		{
+			Name: "namd", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "molecular dynamics: compute-dominated with small L2-resident streams",
+			Config: AppConfig{
+				Name:    "namd",
+				Globals: []GlobalSpec{{Name: "atoms", Size: 512 << 10}},
+				Hot: []HotFunc{{
+					Name: "forces", Depth: 2, InnerTrip: 120, OuterTrip: 4,
+					Loads: repeatLoads(4, LoadSpec{Global: "atoms", Pattern: ir.Seq, Stride: 32}),
+					Work:  12, Weight: 1, ShallowLoads: 60,
+				}},
+				ColdFuncs: 8, ColdLoadsPerFunc: 30, ColdGlobal: "atoms",
+			},
+		},
+		{
+			Name: "gobmk", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "go engine: call- and branch-dense tree search over a small board state",
+			Config: AppConfig{
+				Name:    "gobmk",
+				Globals: []GlobalSpec{{Name: "board", Size: 512 << 10}},
+				Hot: []HotFunc{
+					{
+						Name: "owl_attack", Depth: 1, InnerTrip: 8,
+						Loads: repeatLoads(2, LoadSpec{Global: "board", Pattern: ir.Hot, HotBytes: 128 << 10}),
+						Work:  1, Weight: 10, ShallowLoads: 80,
+					},
+					{
+						Name: "readconnect", Depth: 1, InnerTrip: 8,
+						Loads: repeatLoads(2, LoadSpec{Global: "board", Pattern: ir.Hot, HotBytes: 64 << 10}),
+						Work:  1, Weight: 10, ShallowLoads: 80,
+					},
+				},
+				ColdFuncs: 25, ColdLoadsPerFunc: 30, ColdGlobal: "board",
+			},
+		},
+		{
+			Name: "dealII", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "finite elements: dense vector streams with moderate compute",
+			Config: AppConfig{
+				Name:    "dealII",
+				Globals: []GlobalSpec{{Name: "mesh", Size: 1 << 20}},
+				Hot: []HotFunc{{
+					Name: "assemble", Depth: 2, InnerTrip: 100, OuterTrip: 4,
+					Loads: repeatLoads(5, LoadSpec{Global: "mesh", Pattern: ir.Seq, Stride: 8}),
+					Work:  6, Weight: 1, ShallowLoads: 90,
+				}},
+				ColdFuncs: 20, ColdLoadsPerFunc: 30, ColdGlobal: "mesh",
+			},
+		},
+		{
+			Name: "povray", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "ray tracer: compute-heavy with call-dense scene traversal",
+			Config: AppConfig{
+				Name:    "povray",
+				Globals: []GlobalSpec{{Name: "scene", Size: 512 << 10}},
+				Hot: []HotFunc{
+					{
+						Name: "intersect", Depth: 1, InnerTrip: 10,
+						Loads: repeatLoads(3, LoadSpec{Global: "scene", Pattern: ir.Hot, HotBytes: 64 << 10}),
+						Work:  8, Weight: 8, ShallowLoads: 70,
+					},
+					{
+						Name: "shade", Depth: 1, InnerTrip: 10,
+						Loads: repeatLoads(2, LoadSpec{Global: "scene", Pattern: ir.Hot, HotBytes: 64 << 10}),
+						Work:  10, Weight: 8, ShallowLoads: 70,
+					},
+				},
+				ColdFuncs: 15, ColdLoadsPerFunc: 30, ColdGlobal: "scene",
+			},
+		},
+		{
+			Name: "hmmer", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "sequence profiling: tight L2-resident streaming recurrence",
+			Config: AppConfig{
+				Name:    "hmmer",
+				Globals: []GlobalSpec{{Name: "dp", Size: 256 << 10}},
+				Hot: []HotFunc{{
+					Name: "viterbi", Depth: 2, InnerTrip: 200, OuterTrip: 4,
+					Loads: repeatLoads(6, LoadSpec{Global: "dp", Pattern: ir.Seq, Stride: 4}),
+					Work:  4, Weight: 1, ShallowLoads: 50,
+				}},
+				ColdFuncs: 10, ColdLoadsPerFunc: 25, ColdGlobal: "dp",
+			},
+		},
+		{
+			Name: "sjeng", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "chess engine: branch- and call-dense search over hash tables",
+			Config: AppConfig{
+				Name:    "sjeng",
+				Globals: []GlobalSpec{{Name: "hash", Size: 768 << 10}},
+				Hot: []HotFunc{
+					{
+						Name: "search", Depth: 1, InnerTrip: 7,
+						Loads: repeatLoads(2, LoadSpec{Global: "hash", Pattern: ir.Hot, HotBytes: 128 << 10}),
+						Work:  2, Weight: 10, ShallowLoads: 60,
+					},
+					{
+						Name: "evaluate", Depth: 1, InnerTrip: 7,
+						Loads: repeatLoads(2, LoadSpec{Global: "hash", Pattern: ir.Hot, HotBytes: 64 << 10}),
+						Work:  2, Weight: 10, ShallowLoads: 60,
+					},
+				},
+				ColdFuncs: 12, ColdLoadsPerFunc: 25, ColdGlobal: "hash",
+			},
+		},
+		{
+			Name: "h264ref", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "video encoder: fine-stride frame streams plus warm reference windows",
+			Config: AppConfig{
+				Name:    "h264ref",
+				Globals: []GlobalSpec{{Name: "frames", Size: 1 << 20}},
+				Hot: []HotFunc{{
+					Name: "motion_est", Depth: 2, InnerTrip: 120, OuterTrip: 4,
+					Loads: append(
+						repeatLoads(4, LoadSpec{Global: "frames", Pattern: ir.Seq, Stride: 16}),
+						repeatLoads(2, LoadSpec{Global: "frames", Pattern: ir.Hot, HotBytes: 128 << 10})...),
+					Work: 4, Weight: 1, ShallowLoads: 110,
+				}},
+				ColdFuncs: 22, ColdLoadsPerFunc: 30, ColdGlobal: "frames",
+			},
+		},
+		{
+			Name: "astar", Class: Batch, Suite: "SPEC CPU2006",
+			Description: "pathfinding: pointer chases over a 1 MiB graph",
+			Config: AppConfig{
+				Name:    "astar",
+				Globals: []GlobalSpec{{Name: "grid", Size: 1 << 20}},
+				Hot: []HotFunc{{
+					Name: "wayfind", Depth: 1, InnerTrip: 200,
+					Loads: repeatLoads(4, LoadSpec{Global: "grid", Pattern: ir.Chase}),
+					Work:  2, Weight: 1, ShallowLoads: 70,
+				}},
+				ColdFuncs: 10, ColdLoadsPerFunc: 25, ColdGlobal: "grid",
+			},
+		},
+		// -------------------------------------- SPEC / PARSEC external co-runners
+		{
+			Name: "mcf", Class: LatencySensitive, Suite: "SPEC CPU2006",
+			Description: "network-simplex: pointer chases over a 4 MiB arc network",
+			Config: AppConfig{
+				Name:    "mcf",
+				Globals: []GlobalSpec{{Name: "net", Size: 4 << 20}},
+				Hot: []HotFunc{{
+					Name: "simplex", Depth: 1, InnerTrip: 300,
+					Loads: repeatLoads(6, LoadSpec{Global: "net", Pattern: ir.Chase}),
+					Work:  1, Weight: 1, ShallowLoads: 120,
+				}},
+				ColdFuncs: 12, ColdLoadsPerFunc: 40, ColdGlobal: "net",
+			},
+		},
+		{
+			Name: "omnetpp", Class: LatencySensitive, Suite: "SPEC CPU2006",
+			Description: "discrete-event simulator: heap pointer chases over 2 MiB",
+			Config: AppConfig{
+				Name:    "omnetpp",
+				Globals: []GlobalSpec{{Name: "heap", Size: 2 << 20}},
+				Hot: []HotFunc{{
+					Name: "schedule", Depth: 1, InnerTrip: 300,
+					Loads: repeatLoads(6, LoadSpec{Global: "heap", Pattern: ir.Chase}),
+					Work:  2, Weight: 1, ShallowLoads: 150,
+				}},
+				ColdFuncs: 20, ColdLoadsPerFunc: 40, ColdGlobal: "heap",
+			},
+		},
+		{
+			Name: "xalancbmk", Class: LatencySensitive, Suite: "SPEC CPU2006",
+			Description: "XSLT processor: warm 512 KiB DOM hot set inside 2 MiB",
+			Config: AppConfig{
+				Name:    "xalancbmk",
+				Globals: []GlobalSpec{{Name: "dom", Size: 2 << 20}},
+				Hot: []HotFunc{{
+					Name: "transform", Depth: 1, InnerTrip: 300,
+					Loads: repeatLoads(8, LoadSpec{Global: "dom", Pattern: ir.Hot, HotBytes: 512 << 10}),
+					Work:  3, Weight: 1, ShallowLoads: 160,
+				}},
+				ColdFuncs: 25, ColdLoadsPerFunc: 40, ColdGlobal: "dom",
+			},
+		},
+		{
+			Name: "streamcluster", Class: LatencySensitive, Suite: "PARSEC",
+			Description: "online clustering: point streams (2 MiB) with random center lookups",
+			Config: AppConfig{
+				Name: "streamcluster",
+				Globals: []GlobalSpec{
+					{Name: "points", Size: 2 << 20},
+					{Name: "centers", Size: 256 << 10},
+				},
+				Hot: []HotFunc{{
+					Name: "pgain", Depth: 1, InnerTrip: 250,
+					Loads: append(
+						repeatLoads(4, LoadSpec{Global: "points", Pattern: ir.Seq, Stride: 32}),
+						repeatLoads(4, LoadSpec{Global: "centers", Pattern: ir.Rand})...),
+					Work: 2, Weight: 1, ShallowLoads: 60,
+				}},
+				ColdFuncs: 8, ColdLoadsPerFunc: 30, ColdGlobal: "points",
+			},
+		},
+	}
+}
+
+func repeatLoads(n int, ld LoadSpec) []LoadSpec {
+	out := make([]LoadSpec, n)
+	for i := range out {
+		out[i] = ld
+	}
+	return out
+}
