@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "single artifact key (e.g. fig4, table1); empty = all")
-		scale = flag.String("scale", "quick", "experiment scale: bench|quick|full")
-		list  = flag.Bool("list", false, "list artifact keys")
+		fig     = flag.String("fig", "", "single artifact key (e.g. fig4, table1); empty = all")
+		scale   = flag.String("scale", "quick", "experiment scale: bench|quick|full")
+		list    = flag.Bool("list", false, "list artifact keys")
+		workers = flag.Int("workers", harness.DefaultWorkers(), "max concurrent experiment runs (1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	sc.Workers = *workers
 	r := harness.NewRunner(sc)
 
 	arts := harness.Artifacts()

@@ -1,0 +1,118 @@
+// Command fleet runs the warehouse-scale fleet simulator: N simulated
+// servers, each co-locating a latency-sensitive webservice with a batch
+// instance drawn from a datacenter mix under a chosen mitigation system
+// and placement policy, driven concurrently and aggregated into cluster
+// metrics.
+//
+// Usage:
+//
+//	fleet -servers 64 -mix WL1 -webservice web-search -policy least-loaded
+//	fleet -servers 16 -mix WL2 -system reqos -diurnal 20 -load-low 0.3 -load-high 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/datacenter"
+	"repro/internal/fleet"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		servers    = flag.Int("servers", 16, "fleet size")
+		instances  = flag.Int("instances", 0, "batch instances to place (0 = one per server)")
+		webservice = flag.String("webservice", "web-search", "latency-sensitive app on every server")
+		mixName    = flag.String("mix", "WL1", "batch mix: WL1|WL2|WL3")
+		policyName = flag.String("policy", "least-loaded", "placement policy: round-robin|least-loaded|contention-aware")
+		systemName = flag.String("system", "pc3d", "mitigation system: none|pc3d|reqos")
+		target     = flag.Float64("target", 0.95, "QoS target")
+		seed       = flag.Int64("seed", 1, "fleet seed (fixed seed = bit-identical metrics at any -workers)")
+		workers    = flag.Int("workers", 0, "max concurrent server simulations (0 = NumCPU)")
+		solo       = flag.Float64("solo", 1, "solo calibration seconds per app")
+		settle     = flag.Float64("settle", 5.5, "settle seconds before measurement")
+		measure    = flag.Float64("measure", 1, "steady-state measurement seconds")
+		diurnal    = flag.Float64("diurnal", 0, "diurnal load period in seconds (0 = saturated webservices)")
+		loadLow    = flag.Float64("load-low", 0.25, "diurnal trough load fraction")
+		loadHigh   = flag.Float64("load-high", 0.95, "diurnal peak load fraction")
+		spread     = flag.Float64("phase-spread", 0, "total diurnal phase offset fanned across the fleet, seconds")
+		maxSites   = flag.Int("max-sites", 0, "cap PC3D's search (0 = full search)")
+	)
+	flag.Parse()
+
+	mix, ok := datacenter.MixByName(*mixName)
+	if !ok {
+		fail("unknown mix %q (try WL1, WL2, WL3)", *mixName)
+	}
+	policy, err := fleet.PolicyByName(*policyName)
+	if err != nil {
+		failErr(err)
+	}
+	system, err := fleet.SystemByName(*systemName)
+	if err != nil {
+		failErr(err)
+	}
+	var trace loadgen.Trace
+	if *diurnal > 0 {
+		trace = loadgen.Diurnal{Period: *diurnal, Low: *loadLow, High: *loadHigh}
+	}
+
+	f, err := fleet.New(fleet.Config{
+		Servers:            *servers,
+		Instances:          *instances,
+		Webservice:         *webservice,
+		Mix:                mix,
+		System:             system,
+		Target:             *target,
+		Policy:             policy,
+		Seed:               *seed,
+		Workers:            *workers,
+		SoloSeconds:        *solo,
+		SettleSeconds:      *settle,
+		MeasureSeconds:     *measure,
+		Trace:              trace,
+		PhaseSpreadSeconds: *spread,
+		MaxSites:           *maxSites,
+	})
+	if err != nil {
+		failErr(err)
+	}
+
+	cfg := f.Config()
+	fmt.Printf("fleet: %d servers, %d %s instances, webservice %s, system %s, policy %s, %d workers\n",
+		cfg.Servers, cfg.Instances, mix.Name, cfg.Webservice, cfg.System, cfg.Policy.Name(), cfg.Workers)
+	start := time.Now()
+	m, err := f.Run()
+	if err != nil {
+		failErr(err)
+	}
+
+	fmt.Printf("\n%-22s %8s %8s %8s %8s\n", "", "mean", "p50", "p95", "min")
+	fmt.Printf("%-22s %8.3f %8.3f %8.3f %8.3f\n", "batch utilization", m.Utilization.Mean, m.Utilization.P50, m.Utilization.P95, m.Utilization.Min)
+	fmt.Printf("%-22s %8.3f %8.3f %8.3f %8.3f\n", "webservice QoS", m.QoS.Mean, m.QoS.P50, m.QoS.P95, m.QoS.Min)
+	fmt.Printf("\nQoS violations:          %d/%d servers below %.0f%% target\n", m.QoSViolations, m.Servers, cfg.Target*100)
+	fmt.Printf("batch throughput:        %.2f dedicated-server units\n", m.BatchUnits)
+	fmt.Printf("extra servers avoided:   %d (no-co-location equivalent)\n", m.ExtraServersEquivalent)
+	fmt.Printf("energy efficiency:       %.2fx vs no-co-location fleet\n", m.EnergyEfficiencyRatio)
+	fmt.Printf("\nper-app mean utilization:\n")
+	for _, app := range mix.Apps {
+		if u, ok := m.PerApp[app]; ok {
+			fmt.Printf("  %-20s %.3f\n", app, u)
+		}
+	}
+	fmt.Printf("\n[%d servers simulated in %.1fs]\n", m.Servers, time.Since(start).Seconds())
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleet: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// failErr prints an error that already carries the package prefix.
+func failErr(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -30,6 +30,31 @@ func TableIII() []Mix {
 	}
 }
 
+// MixByName finds a Table III mix by name.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range TableIII() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// Instances samples n batch instances from the mix in equal proportion
+// (round-robin over the app list), matching the projection's assumption
+// that instances are "drawn equally" from the mix. The fleet simulator
+// uses this to materialize the analytic mix as concrete placements.
+func (m Mix) Instances(n int) []string {
+	if len(m.Apps) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = m.Apps[i%len(m.Apps)]
+	}
+	return out
+}
+
 // Utilizations maps batch app name → the utilization PC3D achieves for it
 // against a given webservice at a given QoS target (host BPS normalized to
 // solo), measured by the harness.
@@ -75,6 +100,13 @@ type Result struct {
 // Project computes the scale-out result for one webservice and mix, given
 // per-app PC3D utilizations (fraction of a dedicated core's batch
 // throughput achieved while co-located).
+//
+// Utilizations are clamped to [0,1] before use: measurement noise can push
+// a co-located app marginally past its solo rate, but the projection's
+// throughput unit is "one dedicated batch server", so a clamped value keeps
+// the server count and the power model (which saturates at full
+// utilization) consistent. Values above 1.5 are still rejected as
+// implausible measurements rather than noise.
 func Project(cfg ScaleConfig, webservice string, mix Mix, utils Utilizations) (Result, error) {
 	if len(mix.Apps) == 0 {
 		return Result{}, fmt.Errorf("datacenter: mix %q has no apps", mix.Name)
@@ -87,6 +119,9 @@ func Project(cfg ScaleConfig, webservice string, mix Mix, utils Utilizations) (R
 		}
 		if u < 0 || u > 1.5 {
 			return Result{}, fmt.Errorf("datacenter: implausible utilization %.3f for %q", u, app)
+		}
+		if u > 1 {
+			u = 1
 		}
 		mean += u
 	}
@@ -110,17 +145,19 @@ func Project(cfg ScaleConfig, webservice string, mix Mix, utils Utilizations) (R
 	// Energy: linear utilization model, P(u) = idle + (1-idle)·u of peak.
 	// Both fleets do the same total work (n webservice instances + n·mean
 	// batch units), so efficiency ratio = inverse power ratio.
-	pc3dPower := float64(n) * power(cfg, cfg.WebserviceUtil+(1-cfg.WebserviceUtil)*mean)
-	ncPower := float64(n)*power(cfg, cfg.WebserviceUtil) + float64(extra)*power(cfg, 1.0)
+	pc3dPower := float64(n) * Power(cfg, cfg.WebserviceUtil+(1-cfg.WebserviceUtil)*mean)
+	ncPower := float64(n)*Power(cfg, cfg.WebserviceUtil) + float64(extra)*Power(cfg, 1.0)
 	if pc3dPower > 0 {
 		res.EnergyEfficiencyRatio = ncPower / pc3dPower
 	}
 	return res, nil
 }
 
-// power returns draw relative to peak at utilization u under the linear
-// model.
-func power(cfg ScaleConfig, u float64) float64 {
+// Power returns draw relative to peak at CPU utilization u under the
+// linear model the paper cites: P(u) = idle + (1-idle)·u, saturating at
+// peak. Exported so the fleet simulator can derive energy from measured
+// per-server utilizations with the identical model.
+func Power(cfg ScaleConfig, u float64) float64 {
 	if u < 0 {
 		u = 0
 	}

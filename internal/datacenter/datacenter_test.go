@@ -84,18 +84,70 @@ func TestProjectMonotonic(t *testing.T) {
 	}
 }
 
+// Regression: a utilization in (1.0, 1.5] passes validation but the power
+// model saturates at 1.0; Project must clamp the throughput side the same
+// way or the energy ratio is skewed. A clamped input must behave exactly
+// like 1.0 on every output.
+func TestProjectClampsSuperUnityUtilization(t *testing.T) {
+	cfg := DefaultScale()
+	m := Mix{Name: "m", Apps: []string{"a", "b"}}
+	clamped, err := Project(cfg, "w", m, Utilizations{"a": 1.2, "b": 0.5})
+	if err != nil {
+		t.Fatalf("Project(1.2): %v", err)
+	}
+	unity, err := Project(cfg, "w", m, Utilizations{"a": 1.0, "b": 0.5})
+	if err != nil {
+		t.Fatalf("Project(1.0): %v", err)
+	}
+	if clamped != unity {
+		t.Errorf("clamped result %+v != unity result %+v", clamped, unity)
+	}
+	if math.Abs(clamped.MeanBatchUtil-0.75) > 1e-9 {
+		t.Errorf("MeanBatchUtil = %v, want 0.75", clamped.MeanBatchUtil)
+	}
+}
+
+func TestMixInstances(t *testing.T) {
+	m := Mix{Name: "m", Apps: []string{"a", "b", "c"}}
+	got := m.Instances(7)
+	want := []string{"a", "b", "c", "a", "b", "c", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("Instances(7) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Instances(7) = %v, want %v", got, want)
+		}
+	}
+	if m.Instances(0) != nil {
+		t.Error("Instances(0) should be nil")
+	}
+	if (Mix{}).Instances(3) != nil {
+		t.Error("empty mix Instances should be nil")
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	if m, ok := MixByName("WL2"); !ok || m.Name != "WL2" {
+		t.Errorf("MixByName(WL2) = %+v, %v", m, ok)
+	}
+	if _, ok := MixByName("WL9"); ok {
+		t.Error("MixByName(WL9) should not exist")
+	}
+}
+
 func TestPowerModelBounds(t *testing.T) {
 	cfg := DefaultScale()
-	if p := power(cfg, 0); p != cfg.IdlePowerFraction {
-		t.Errorf("power(0) = %v", p)
+	if p := Power(cfg, 0); p != cfg.IdlePowerFraction {
+		t.Errorf("Power(0) = %v", p)
 	}
-	if p := power(cfg, 1); p != 1 {
-		t.Errorf("power(1) = %v", p)
+	if p := Power(cfg, 1); p != 1 {
+		t.Errorf("Power(1) = %v", p)
 	}
-	if p := power(cfg, 2); p != 1 {
-		t.Errorf("power clamps above 1: %v", p)
+	if p := Power(cfg, 2); p != 1 {
+		t.Errorf("Power clamps above 1: %v", p)
 	}
-	if p := power(cfg, -1); p != cfg.IdlePowerFraction {
-		t.Errorf("power clamps below 0: %v", p)
+	if p := Power(cfg, -1); p != cfg.IdlePowerFraction {
+		t.Errorf("Power clamps below 0: %v", p)
 	}
 }

@@ -1,0 +1,646 @@
+// Package fleet simulates a warehouse-scale cluster as N concurrently
+// simulated servers, replacing trust in the closed-form Figure 17/18
+// projection with measurement. Each server is a full internal/machine
+// instance — its own webservice, batch co-runner, mitigation policy
+// (PC3D, ReQoS or none) and QoS monitor — and a placement scheduler
+// assigns batch instances from a datacenter mix to servers under
+// pluggable policies. Per-server counters aggregate into cluster
+// metrics: utilization and QoS distributions, violation counts, batch
+// throughput, and energy from measured utilizations through the same
+// linear power model the analytic projection uses, so the two routes to
+// the paper's warehouse-scale claims can be cross-checked.
+//
+// Servers are simulated across a bounded worker pool. Every machine is a
+// self-contained single-goroutine simulation and all cross-server inputs
+// (binaries, calibrations) are immutable during the run, so aggregate
+// results are bit-identical at any worker count under a fixed seed.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datacenter"
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/pc3d"
+	"repro/internal/phase"
+	"repro/internal/progbin"
+	"repro/internal/qos"
+	"repro/internal/reqos"
+	"repro/internal/workload"
+)
+
+// System selects each server's contention-mitigation policy.
+type System int
+
+// Mitigation systems.
+const (
+	// SystemNone co-locates with no mitigation.
+	SystemNone System = iota
+	// SystemPC3D runs the full protean runtime with the PC3D policy.
+	SystemPC3D
+	// SystemReQoS runs the reactive napping baseline.
+	SystemReQoS
+)
+
+func (s System) String() string {
+	switch s {
+	case SystemNone:
+		return "none"
+	case SystemPC3D:
+		return "PC3D"
+	case SystemReQoS:
+		return "ReQoS"
+	}
+	return fmt.Sprintf("system(%d)", int(s))
+}
+
+// SystemByName resolves a mitigation system by CLI name.
+func SystemByName(name string) (System, error) {
+	switch name {
+	case "none":
+		return SystemNone, nil
+	case "pc3d", "PC3D":
+		return SystemPC3D, nil
+	case "reqos", "ReQoS":
+		return SystemReQoS, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown system %q", name)
+}
+
+// Config sizes and parameterizes a fleet run.
+type Config struct {
+	// Servers is the fleet size.
+	Servers int
+	// Webservice is the latency-sensitive tenant on every server.
+	Webservice string
+	// Mix supplies the batch instances (drawn equally via Mix.Instances).
+	Mix datacenter.Mix
+	// Instances is the batch instance count (default Servers; must be
+	// <= Servers, one batch core per server).
+	Instances int
+	// System is the per-server mitigation policy (default SystemPC3D).
+	System System
+	// Target is the webservice QoS target (default 0.95).
+	Target float64
+	// Policy places batch instances on servers (default LeastLoaded).
+	Policy Policy
+	// Seed derives every server's machine seed; a fixed seed gives
+	// bit-identical metrics at any worker count.
+	Seed int64
+	// Workers bounds concurrent server simulations (default
+	// runtime.NumCPU()).
+	Workers int
+	// SoloSeconds, SettleSeconds and MeasureSeconds mirror the harness
+	// scales: calibration window, pre-measurement settling (covers PC3D's
+	// search) and the steady-state measurement window (defaults 1 / 5.5 /
+	// 1, the BenchScale shape).
+	SoloSeconds    float64
+	SettleSeconds  float64
+	MeasureSeconds float64
+	// Trace, when set, gates every webservice behind an offered-load
+	// trace; server i sees the trace phase-shifted by
+	// i/Servers·PhaseSpreadSeconds, so the cluster sweeps the whole
+	// diurnal cycle at any instant. When nil the webservices run
+	// saturated (the Figures 9-15 regime).
+	Trace loadgen.Trace
+	// PhaseSpreadSeconds is the total phase offset fanned across the
+	// fleet (default: one Trace period is unknowable here, so 0 = all
+	// servers in phase).
+	PhaseSpreadSeconds float64
+	// MaxSites caps PC3D's search (0 = full search).
+	MaxSites int
+	// Scale supplies the power-model constants (default
+	// datacenter.DefaultScale()).
+	Scale datacenter.ScaleConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instances == 0 {
+		c.Instances = c.Servers
+	}
+	if c.Target == 0 {
+		c.Target = 0.95
+	}
+	if c.Policy == nil {
+		c.Policy = LeastLoaded{}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.SoloSeconds == 0 {
+		c.SoloSeconds = 1
+	}
+	if c.SettleSeconds == 0 {
+		c.SettleSeconds = 5.5
+	}
+	if c.MeasureSeconds == 0 {
+		c.MeasureSeconds = 1
+	}
+	if c.Scale.BaseServers == 0 {
+		c.Scale = datacenter.DefaultScale()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("fleet: need at least one server, got %d", c.Servers)
+	}
+	if c.Instances > c.Servers {
+		return fmt.Errorf("fleet: %d batch instances exceed %d servers (one batch core each)", c.Instances, c.Servers)
+	}
+	if _, ok := workload.ByName(c.Webservice); !ok {
+		return fmt.Errorf("fleet: unknown webservice %q", c.Webservice)
+	}
+	if len(c.Mix.Apps) == 0 && c.Instances > 0 {
+		return fmt.Errorf("fleet: mix %q has no apps", c.Mix.Name)
+	}
+	return nil
+}
+
+// ServerResult is one server's measured steady-state outcome.
+type ServerResult struct {
+	Index int
+	// App is the placed batch instance ("" for a batch-free server).
+	App string
+	// Utilization is the batch app's BPS normalized to its solo BPS.
+	Utilization float64
+	// QoS is the webservice's delivered quality: normalized IPS when
+	// saturated, served/offered when load-gated.
+	QoS float64
+	// Load is the webservice's mean offered load during measurement
+	// (1.0 when saturated).
+	Load float64
+}
+
+// Dist summarizes a cluster-wide value distribution.
+type Dist struct {
+	Mean, P50, P95, Min float64
+}
+
+func distOf(vals []float64) Dist {
+	if len(vals) == 0 {
+		return Dist{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Dist{Mean: sum / float64(len(s)), P50: rank(0.50), P95: rank(0.95), Min: s[0]}
+}
+
+// Metrics aggregates a fleet run.
+type Metrics struct {
+	Servers   int
+	Instances int
+	Policy    string
+	System    System
+	// Utilization is the distribution over batch-hosting servers.
+	Utilization Dist
+	// QoS is the webservice QoS distribution over all servers.
+	QoS Dist
+	// QoSViolations counts servers measuring below the QoS target.
+	QoSViolations int
+	// BatchUnits is total batch throughput in dedicated-server units
+	// (Σ per-server utilization, each clamped to [0,1] exactly as the
+	// analytic projection clamps).
+	BatchUnits float64
+	// ExtraServersEquivalent is the dedicated batch servers a
+	// no-co-location fleet would need for the same batch throughput.
+	ExtraServersEquivalent int
+	// EnergyEfficiencyRatio is the measured-fleet work-per-Watt over the
+	// no-co-location equivalent's, from per-server measured utilization
+	// through the shared linear power model.
+	EnergyEfficiencyRatio float64
+	// PerApp averages utilization per batch app, the direct input for
+	// cross-checking datacenter.Project.
+	PerApp map[string]float64
+	PerServer []ServerResult
+}
+
+// calibration holds the immutable solo measurements every server
+// simulation reads.
+type calibration struct {
+	soloBPS   map[string]float64
+	soloIPS   map[string]float64
+	pressure  map[string]float64 // solo LLC misses per simulated second
+	plain     map[string]*progbin.Binary
+	protean   map[string]*progbin.Binary
+	wsSoloIPS float64
+	wsPeakQPS float64
+}
+
+// Fleet is one configured cluster simulation.
+type Fleet struct {
+	cfg Config
+	cal calibration
+	// placement maps instance -> server index; assignment maps server
+	// index -> app name ("" when batch-free). Valid after Run.
+	placement []int
+	slots     []ServerSlot
+	instances []Instance
+}
+
+// New validates the configuration and builds a fleet.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Fleet{cfg: cfg}, nil
+}
+
+// Config returns the effective configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Placement returns instance → server index (valid after Run).
+func (f *Fleet) Placement() []int { return f.placement }
+
+// Instances returns the placed batch instances with their measured
+// pressures (valid after Run).
+func (f *Fleet) Instances() []Instance { return f.instances }
+
+// serverSeed mixes the fleet seed with a server index (splitmix64-style)
+// so each machine gets a distinct, reproducible address-stream seed.
+func serverSeed(seed int64, idx int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(idx+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x >> 1) // keep it positive for readability in dumps
+}
+
+// offset returns server i's phase offset in seconds.
+func (f *Fleet) offset(i int) float64 {
+	if f.cfg.Trace == nil || f.cfg.Servers == 0 {
+		return 0
+	}
+	return f.cfg.PhaseSpreadSeconds * float64(i) / float64(f.cfg.Servers)
+}
+
+// trace returns server i's offered-load trace, or nil when saturated.
+func (f *Fleet) trace(i int) loadgen.Trace {
+	if f.cfg.Trace == nil {
+		return nil
+	}
+	return loadgen.Offset{Trace: f.cfg.Trace, By: f.offset(i)}
+}
+
+// forEach fans f(0..n-1) across the worker pool, returning the
+// lowest-index error.
+func (f *Fleet) forEach(n int, fn func(i int) error) error {
+	w := f.cfg.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run calibrates, places, simulates every server across the worker pool,
+// and aggregates cluster metrics.
+func (f *Fleet) Run() (Metrics, error) {
+	apps := f.cfg.Mix.Instances(f.cfg.Instances)
+	if err := f.calibrate(apps); err != nil {
+		return Metrics{}, err
+	}
+	if err := f.place(apps); err != nil {
+		return Metrics{}, err
+	}
+
+	assignment := make([]string, f.cfg.Servers)
+	for inst, srv := range f.placement {
+		assignment[srv] = apps[inst]
+	}
+	results := make([]ServerResult, f.cfg.Servers)
+	err := f.forEach(f.cfg.Servers, func(i int) error {
+		res, err := f.runServer(i, assignment[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return f.aggregate(results), nil
+}
+
+// calibrate measures solo rates, contentiousness and webservice capacity
+// for every distinct app, in parallel; all downstream reads are immutable.
+func (f *Fleet) calibrate(apps []string) error {
+	distinct := []string{f.cfg.Webservice}
+	seen := map[string]bool{f.cfg.Webservice: true}
+	for _, a := range apps {
+		if !seen[a] {
+			seen[a] = true
+			distinct = append(distinct, a)
+		}
+	}
+	f.cal = calibration{
+		soloBPS:  make(map[string]float64),
+		soloIPS:  make(map[string]float64),
+		pressure: make(map[string]float64),
+		plain:    make(map[string]*progbin.Binary),
+		protean:  make(map[string]*progbin.Binary),
+	}
+	var mu sync.Mutex
+	err := f.forEach(len(distinct), func(i int) error {
+		name := distinct[i]
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("fleet: unknown app %q", name)
+		}
+		plain, err := spec.CompilePlain()
+		if err != nil {
+			return err
+		}
+		var prot *progbin.Binary
+		if f.cfg.System == SystemPC3D && name != f.cfg.Webservice {
+			if prot, err = spec.CompileProtean(); err != nil {
+				return err
+			}
+		}
+		bps, ips, miss, err := f.soloRates(plain)
+		if err != nil {
+			return err
+		}
+		var qps float64
+		if name == f.cfg.Webservice && f.cfg.Trace != nil {
+			if qps, err = f.peakQPS(plain); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		f.cal.plain[name] = plain
+		f.cal.protean[name] = prot
+		f.cal.soloBPS[name] = bps
+		f.cal.soloIPS[name] = ips
+		f.cal.pressure[name] = miss
+		if name == f.cfg.Webservice {
+			f.cal.wsSoloIPS = ips
+			f.cal.wsPeakQPS = qps
+		}
+		return nil
+	})
+	return err
+}
+
+// soloRates measures an app's interference-free BPS, IPS and LLC miss
+// rate on a dedicated machine.
+func (f *Fleet) soloRates(bin *progbin.Binary) (bps, ips, missRate float64, err error) {
+	m := machine.New(machine.Config{Cores: 4, Seed: f.cfg.Seed})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m.RunSeconds(0.5)
+	c0 := p.Counters()
+	m0 := m.Hierarchy().CoreStats(0).LLCMisses
+	m.RunSeconds(f.cfg.SoloSeconds)
+	d := p.Counters().Sub(c0)
+	dm := m.Hierarchy().CoreStats(0).LLCMisses - m0
+	sec := f.cfg.SoloSeconds
+	return float64(d.Branches) / sec, float64(d.Insts) / sec, float64(dm) / sec, nil
+}
+
+// peakQPS measures the webservice's solo capacity in gated mode.
+func (f *Fleet) peakQPS(bin *progbin.Binary) (float64, error) {
+	m := machine.New(machine.Config{Cores: 4, Seed: f.cfg.Seed})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Gated: true})
+	if err != nil {
+		return 0, err
+	}
+	quanta := int(2 * m.Config().FreqHz / float64(m.Config().QuantumCycles))
+	return loadgen.MeasureCapacity(m, p, quanta), nil
+}
+
+// place runs the scheduler and validates its assignment.
+func (f *Fleet) place(apps []string) error {
+	f.slots = make([]ServerSlot, f.cfg.Servers)
+	horizon := f.cfg.SettleSeconds + f.cfg.MeasureSeconds
+	for i := range f.slots {
+		load := 1.0
+		if tr := f.trace(i); tr != nil {
+			load = loadgen.MeanLoad(tr, horizon)
+		}
+		f.slots[i] = ServerSlot{Index: i, BaseLoad: load}
+	}
+	f.instances = make([]Instance, len(apps))
+	for i, a := range apps {
+		f.instances[i] = Instance{App: a, Pressure: f.cal.pressure[a]}
+	}
+	f.placement = f.cfg.Policy.Place(f.instances, f.slots)
+	if len(f.placement) != len(apps) {
+		return fmt.Errorf("fleet: policy %s placed %d of %d instances", f.cfg.Policy.Name(), len(f.placement), len(apps))
+	}
+	used := make(map[int]bool, len(f.placement))
+	for inst, srv := range f.placement {
+		if srv < 0 || srv >= f.cfg.Servers {
+			return fmt.Errorf("fleet: policy %s placed instance %d on out-of-range server %d", f.cfg.Policy.Name(), inst, srv)
+		}
+		if used[srv] {
+			return fmt.Errorf("fleet: policy %s double-booked server %d", f.cfg.Policy.Name(), srv)
+		}
+		used[srv] = true
+	}
+	return nil
+}
+
+// runServer simulates one server end to end: webservice on core 0, batch
+// instance (if any) on core 1, the protean runtime on core 2.
+func (f *Fleet) runServer(idx int, app string) (ServerResult, error) {
+	cfg := f.cfg
+	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx)})
+
+	wsOpts := machine.ProcessOptions{Restart: true}
+	tr := f.trace(idx)
+	if tr != nil {
+		wsOpts = machine.ProcessOptions{Gated: true}
+	}
+	ws, err := m.Attach(0, f.cal.plain[cfg.Webservice], wsOpts)
+	if err != nil {
+		return ServerResult{}, err
+	}
+	var gen *loadgen.Generator
+	if tr != nil {
+		gen = loadgen.NewGenerator(ws, tr, f.cal.wsPeakQPS)
+		m.AddAgent(gen)
+	}
+
+	var host *machine.Process
+	if app != "" {
+		hb := f.cal.plain[app]
+		if cfg.System == SystemPC3D {
+			hb = f.cal.protean[app]
+		}
+		if host, err = m.Attach(1, hb, machine.ProcessOptions{Restart: true}); err != nil {
+			return ServerResult{}, err
+		}
+	}
+
+	// QoS monitor + mitigation, mirroring the harness pair and trace
+	// experiments: flux probing when saturated, throughput accounting
+	// when load-gated.
+	if host != nil {
+		var src qos.Source
+		var win qos.WindowScorer
+		var extSig func(*machine.Machine) phase.Signature
+		if gen == nil {
+			flux := qos.NewFluxMonitor(m, host, ws, 0, 0)
+			flux.ReferenceIPS = f.cal.wsSoloIPS
+			m.AddAgent(flux)
+			src = flux
+			win = &qos.FluxWindow{Flux: flux, Ext: ws}
+			extSig = func(*machine.Machine) phase.Signature {
+				solo, _ := flux.SoloIPS()
+				return phase.Signature{Rate: solo}
+			}
+		} else {
+			tq := qos.NewThroughputQoS(m, ws, gen, 0)
+			m.AddAgent(tq)
+			src = tq
+			win = &qos.ThroughputWindow{Proc: ws, Gen: gen}
+			extSig = func(mm *machine.Machine) phase.Signature {
+				return phase.Signature{Rate: gen.CurrentLoad(mm)}
+			}
+		}
+		switch cfg.System {
+		case SystemPC3D:
+			rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2})
+			if err != nil {
+				return ServerResult{}, err
+			}
+			m.AddAgent(rt)
+			ctrl := pc3d.New(rt, src, win, extSig, pc3d.Options{Target: cfg.Target, MaxSites: cfg.MaxSites})
+			defer ctrl.Close()
+			m.AddAgent(ctrl)
+		case SystemReQoS:
+			m.AddAgent(reqos.New(host, src, reqos.Options{Target: cfg.Target}))
+		case SystemNone:
+			// Co-location with no mitigation.
+		}
+	}
+
+	m.RunSeconds(cfg.SettleSeconds)
+	ws0 := ws.Counters()
+	var h0 machine.Counters
+	if host != nil {
+		h0 = host.Counters()
+	}
+	var off0 uint64
+	if gen != nil {
+		off0 = gen.Offered()
+	}
+	m.RunSeconds(cfg.MeasureSeconds)
+
+	res := ServerResult{Index: idx, App: app, Load: 1}
+	wsd := ws.Counters().Sub(ws0)
+	if gen != nil {
+		offered := gen.Offered() - off0
+		served := wsd.Completions
+		res.Load = float64(offered) / cfg.MeasureSeconds / f.cal.wsPeakQPS
+		if offered == 0 {
+			res.QoS = 1
+		} else {
+			res.QoS = math.Min(1, float64(served)/float64(offered))
+		}
+	} else {
+		res.QoS = float64(wsd.Insts) / cfg.MeasureSeconds / f.cal.wsSoloIPS
+	}
+	if host != nil {
+		hd := host.Counters().Sub(h0)
+		res.Utilization = float64(hd.Branches) / cfg.MeasureSeconds / f.cal.soloBPS[app]
+	}
+	return res, nil
+}
+
+// aggregate folds per-server results into cluster metrics, in server-index
+// order so floating-point sums are identical at any worker count.
+func (f *Fleet) aggregate(results []ServerResult) Metrics {
+	cfg := f.cfg
+	mt := Metrics{
+		Servers:   cfg.Servers,
+		Instances: cfg.Instances,
+		Policy:    cfg.Policy.Name(),
+		System:    cfg.System,
+		PerApp:    make(map[string]float64),
+		PerServer: results,
+	}
+	var utils, qs []float64
+	perAppN := make(map[string]int)
+	fleetPower, ncPower := 0.0, 0.0
+	for _, r := range results {
+		qs = append(qs, r.QoS)
+		if r.QoS < cfg.Target {
+			mt.QoSViolations++
+		}
+		wsPart := cfg.Scale.WebserviceUtil * r.Load
+		u := 0.0
+		if r.App != "" {
+			utils = append(utils, r.Utilization)
+			mt.PerApp[r.App] += r.Utilization
+			perAppN[r.App]++
+			u = math.Min(r.Utilization, 1)
+			mt.BatchUnits += u
+		}
+		fleetPower += datacenter.Power(cfg.Scale, wsPart+(1-cfg.Scale.WebserviceUtil)*u)
+		ncPower += datacenter.Power(cfg.Scale, wsPart) + u*datacenter.Power(cfg.Scale, 1)
+	}
+	for app, n := range perAppN {
+		mt.PerApp[app] /= float64(n)
+	}
+	mt.Utilization = distOf(utils)
+	mt.QoS = distOf(qs)
+	mt.ExtraServersEquivalent = int(mt.BatchUnits + 0.5)
+	if fleetPower > 0 {
+		mt.EnergyEfficiencyRatio = ncPower / fleetPower
+	}
+	return mt
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ServerSlot describes one server offered to the placement scheduler.
+type ServerSlot struct {
+	// Index is the server's position in the fleet.
+	Index int
+	// BaseLoad is the server's expected webservice load over the run in
+	// [0,1]: the mean of its (phase-offset) offered-load trace, or 1.0 in
+	// a saturated fleet. It is the scheduler's only source of server
+	// heterogeneity, exactly the signal a cluster manager reads from
+	// per-node telemetry before placing work.
+	BaseLoad float64
+}
+
+// Instance is one batch instance awaiting placement.
+type Instance struct {
+	App string
+	// Pressure is the app's measured solo LLC miss rate (misses per
+	// simulated second): the workload catalog's contentiousness signal,
+	// measured rather than assumed.
+	Pressure float64
+}
+
+// Policy places batch instances onto servers, at most one instance per
+// server (core 1 is the only batch core; cores 0/2 hold the webservice and
+// the protean runtime).
+type Policy interface {
+	Name() string
+	// Place returns, for each instance (in input order), the index of the
+	// chosen server. Implementations must not double-book a server.
+	Place(instances []Instance, servers []ServerSlot) []int
+}
+
+// RoundRobin walks the rack in order: instance i lands on the i-th server.
+// It ignores all telemetry, the baseline any real cluster scheduler is
+// measured against.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Policy.
+func (RoundRobin) Place(instances []Instance, servers []ServerSlot) []int {
+	out := make([]int, len(instances))
+	for i := range instances {
+		out[i] = servers[i%len(servers)].Index
+	}
+	return out
+}
+
+// LeastLoaded greedily places each instance on the free server with the
+// lowest measured webservice utilization (ties break to the lowest index),
+// so batch work lands where the latency-sensitive tenant has the most
+// headroom.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Place implements Policy.
+func (LeastLoaded) Place(instances []Instance, servers []ServerSlot) []int {
+	order := byLoad(servers)
+	out := make([]int, len(instances))
+	for i := range instances {
+		if i < len(order) {
+			out[i] = order[i].Index
+		} else {
+			out[i] = order[i%len(order)].Index
+		}
+	}
+	return out
+}
+
+// ContentionAware pairs the most contentious batch instances (highest solo
+// LLC miss rate) with the least-loaded servers: heavy cache aggressors get
+// the co-runners with the most QoS slack, so PC3D needs the least napping
+// fleet-wide.
+type ContentionAware struct{}
+
+// Name implements Policy.
+func (ContentionAware) Name() string { return "contention-aware" }
+
+// Place implements Policy.
+func (ContentionAware) Place(instances []Instance, servers []ServerSlot) []int {
+	order := byLoad(servers)
+	// Rank instances most-contentious first; stable on input order so
+	// placement is deterministic for equal pressures.
+	rank := make([]int, len(instances))
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool {
+		return instances[rank[a]].Pressure > instances[rank[b]].Pressure
+	})
+	out := make([]int, len(instances))
+	for pos, inst := range rank {
+		if pos < len(order) {
+			out[inst] = order[pos].Index
+		} else {
+			out[inst] = order[pos%len(order)].Index
+		}
+	}
+	return out
+}
+
+// byLoad returns servers sorted by ascending BaseLoad, ties to the lowest
+// index.
+func byLoad(servers []ServerSlot) []ServerSlot {
+	order := append([]ServerSlot(nil), servers...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].BaseLoad != order[b].BaseLoad {
+			return order[a].BaseLoad < order[b].BaseLoad
+		}
+		return order[a].Index < order[b].Index
+	})
+	return order
+}
+
+// Policies lists the built-in placement policies.
+func Policies() []Policy {
+	return []Policy{RoundRobin{}, LeastLoaded{}, ContentionAware{}}
+}
+
+// PolicyByName resolves a placement policy by its CLI name.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: unknown placement policy %q", name)
+}

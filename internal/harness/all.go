@@ -46,6 +46,7 @@ func Artifacts() []Artifact {
 		{Key: "table3", Name: "Table III", Run: func(r *Runner) ([]*Table, error) { return []*Table{r.Table3()}, nil }},
 		{Key: "fig17", Name: "Figure 17", Run: one((*Runner).Figure17)},
 		{Key: "fig18", Name: "Figure 18", Run: one((*Runner).Figure18)},
+		{Key: "fig17sim", Name: "Figures 17/18 (simulated fleet)", Run: (*Runner).Figure17Sim},
 	}
 }
 

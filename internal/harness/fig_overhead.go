@@ -45,32 +45,43 @@ func (r *Runner) Figure4() (*Table, error) {
 	}
 	var sumP, sumD float64
 	apps := r.sc.specApps()
-	for _, app := range apps {
+	type overhead struct{ sp, sd float64 }
+	rows := make([]overhead, len(apps))
+	err := r.forEach(len(apps), func(i int) error {
+		app := apps[i]
 		plain, err := r.binary(app, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prot, err := r.binary(app, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		native, err := r.runAlone(plain, nil, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		protean, err := r.runAlone(prot, nil, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		under, err := r.runAlone(plain, dbt.DynamoRIO(), 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sp := float64(native) / float64(protean)
-		sd := float64(native) / float64(under)
-		sumP += sp
-		sumD += sd
-		t.AddRow(app, ratio(sp), ratio(sd))
+		rows[i] = overhead{
+			sp: float64(native) / float64(protean),
+			sd: float64(native) / float64(under),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		sumP += rows[i].sp
+		sumD += rows[i].sd
+		t.AddRow(app, ratio(rows[i].sp), ratio(rows[i].sd))
 	}
 	n := float64(len(apps))
 	t.AddRow("Mean", ratio(sumP/n), ratio(sumD/n))
@@ -88,31 +99,44 @@ func (r *Runner) Figure5() (*Table, error) {
 		Title:   "Dynamic compilation stress tests; compilation on a separate core (slowdown vs native)",
 		Columns: []string{"App", "Edge virt.", "5000ms", "500ms", "50ms", "5ms"},
 	}
-	for _, app := range r.sc.specApps() {
+	apps := r.sc.specApps()
+	rows := make([][]float64, len(apps))
+	err := r.forEach(len(apps), func(i int) error {
+		app := apps[i]
 		plain, err := r.binary(app, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prot, err := r.binary(app, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		native, err := r.runAlone(plain, nil, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := []any{app}
 		protean, err := r.runAlone(prot, nil, 0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row = append(row, ratio(float64(native)/float64(protean)))
+		vals := []float64{float64(native) / float64(protean)}
 		for _, iv := range intervals {
 			stressed, err := r.runAlone(prot, nil, iv, 2)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row = append(row, ratio(float64(native)/float64(stressed)))
+			vals = append(vals, float64(native)/float64(stressed))
+		}
+		rows[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		row := []any{app}
+		for _, v := range rows[i] {
+			row = append(row, ratio(v))
 		}
 		t.AddRow(row...)
 	}
@@ -131,31 +155,45 @@ func (r *Runner) Figure6() (*Table, error) {
 		Columns: []string{"Interval", "Same Core", "Separate Core"},
 	}
 	apps := r.sc.specApps()
-	for _, iv := range intervals {
+	type cellRes struct{ same, sep float64 }
+	cells := make([]cellRes, len(intervals)*len(apps))
+	err := r.forEach(len(cells), func(i int) error {
+		iv := intervals[i/len(apps)]
+		app := apps[i%len(apps)]
+		plain, err := r.binary(app, false)
+		if err != nil {
+			return err
+		}
+		prot, err := r.binary(app, true)
+		if err != nil {
+			return err
+		}
+		native, err := r.runAlone(plain, nil, 0, 0)
+		if err != nil {
+			return err
+		}
+		same, err := r.runAlone(prot, nil, iv, core.SameCore)
+		if err != nil {
+			return err
+		}
+		sep, err := r.runAlone(prot, nil, iv, 2)
+		if err != nil {
+			return err
+		}
+		cells[i] = cellRes{
+			same: float64(native) / float64(same),
+			sep:  float64(native) / float64(sep),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, iv := range intervals {
 		var sumSame, sumSep float64
-		for _, app := range apps {
-			plain, err := r.binary(app, false)
-			if err != nil {
-				return nil, err
-			}
-			prot, err := r.binary(app, true)
-			if err != nil {
-				return nil, err
-			}
-			native, err := r.runAlone(plain, nil, 0, 0)
-			if err != nil {
-				return nil, err
-			}
-			same, err := r.runAlone(prot, nil, iv, core.SameCore)
-			if err != nil {
-				return nil, err
-			}
-			sep, err := r.runAlone(prot, nil, iv, 2)
-			if err != nil {
-				return nil, err
-			}
-			sumSame += float64(native) / float64(same)
-			sumSep += float64(native) / float64(sep)
+		for k := range apps {
+			sumSame += cells[j*len(apps)+k].same
+			sumSep += cells[j*len(apps)+k].sep
 		}
 		n := float64(len(apps))
 		t.AddRow(fmt.Sprintf("%.0fms", iv*1000), ratio(sumSame/n), ratio(sumSep/n))
@@ -174,7 +212,11 @@ func (r *Runner) Figure7() (*Table, error) {
 		Title:   "Average fraction of server cycles consumed by the PC3D runtime",
 		Columns: []string{"App", "% of Server Cycles"},
 	}
-	for _, host := range r.sc.hosts() {
+	hosts := r.sc.hosts()
+	if err := r.prefetchPairs(pairGrid(hosts, []string{"web-search"}, []System{SystemPC3D}, []float64{0.95})); err != nil {
+		return nil, err
+	}
+	for _, host := range hosts {
 		pr, err := r.RunPair(host, "web-search", SystemPC3D, 0.95)
 		if err != nil {
 			return nil, err

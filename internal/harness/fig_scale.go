@@ -32,14 +32,21 @@ func (r *Runner) Table3() *Table {
 // against the given webservice) for every app appearing in the Table III
 // mixes, reusing memoized pair runs.
 func (r *Runner) mixUtilizations(webservice string) (datacenter.Utilizations, error) {
-	apps := map[string]bool{}
+	seen := map[string]bool{}
+	var apps []string
 	for _, m := range datacenter.TableIII() {
 		for _, a := range m.Apps {
-			apps[a] = true
+			if !seen[a] {
+				seen[a] = true
+				apps = append(apps, a)
+			}
 		}
 	}
+	if err := r.prefetchPairs(pairGrid(apps, []string{webservice}, []System{SystemPC3D}, []float64{0.95})); err != nil {
+		return nil, err
+	}
 	utils := datacenter.Utilizations{}
-	for a := range apps {
+	for _, a := range apps {
 		pr, err := r.RunPair(a, webservice, SystemPC3D, 0.95)
 		if err != nil {
 			return nil, err

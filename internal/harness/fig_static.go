@@ -123,24 +123,33 @@ func (r *Runner) Figure8() (*Table, error) {
 		Columns: []string{"App", "Full Program", "Active Regions", "Max Depth", "Active %", "MaxDepth %"},
 	}
 	var totalFull, totalActive, totalMax int
-	for _, host := range workload.BatchHosts() {
-		bin, err := r.binary(host, true)
+	hosts := workload.BatchHosts()
+	spaces := make([]pc3d.SearchSpace, len(hosts))
+	err := r.forEach(len(hosts), func(i int) error {
+		bin, err := r.binary(hosts[i], true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := machine.New(machine.Config{Cores: 2})
 		p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sampler := sampling.NewPCSampler(p, m.Config().QuantumCycles)
 		m.AddAgent(sampler)
 		m.RunSeconds(1)
 		emb, err := bin.DecodeIR()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ss := pc3d.BuildSearchSpace(emb, sampler.Lifetime())
+		spaces[i] = pc3d.BuildSearchSpace(emb, sampler.Lifetime())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, host := range hosts {
+		ss := spaces[i]
 		t.AddRow(host, ss.TotalLoads, len(ss.Covered), len(ss.Sites),
 			pct(float64(len(ss.Covered))/float64(ss.TotalLoads)),
 			pct(float64(len(ss.Sites))/float64(ss.TotalLoads)))

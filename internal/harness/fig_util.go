@@ -22,6 +22,9 @@ func (r *Runner) Figure9to11(webservice string) (*Table, error) {
 	}
 	var sums = make([]float64, len(targets))
 	hosts := r.sc.hosts()
+	if err := r.prefetchPairs(pairGrid(hosts, []string{webservice}, []System{SystemPC3D}, targets)); err != nil {
+		return nil, err
+	}
 	for _, host := range hosts {
 		row := []any{host}
 		for i, tgt := range targets {
@@ -61,6 +64,9 @@ func (r *Runner) Figure12to14(webservice string) (*Table, error) {
 		Title:   fmt.Sprintf("QoS of %s running with batch applications (PC3D)", webservice),
 		Columns: append([]string{"App"}, targetCols(targets)...),
 	}
+	if err := r.prefetchPairs(pairGrid(r.sc.hosts(), []string{webservice}, []System{SystemPC3D}, targets)); err != nil {
+		return nil, err
+	}
 	for _, host := range r.sc.hosts() {
 		row := []any{host}
 		for _, tgt := range targets {
@@ -83,6 +89,9 @@ func (r *Runner) Figure15() ([]*Table, error) {
 	targets := r.sc.targets()
 	exts := r.sc.extSpectrum()
 	hosts := r.sc.hosts()
+	if err := r.prefetchPairs(pairGrid(hosts, exts, []System{SystemPC3D, SystemReQoS}, targets)); err != nil {
+		return nil, err
+	}
 
 	var tables []*Table
 	for _, tgt := range targets {
@@ -130,6 +139,22 @@ func (r *Runner) Figure15() ([]*Table, error) {
 		tables = append(tables, util, qost)
 	}
 	return tables, nil
+}
+
+// pairGrid enumerates the full (host, ext, system, target) cross product
+// in deterministic order for prefetching.
+func pairGrid(hosts, exts []string, systems []System, targets []float64) []pairKey {
+	keys := make([]pairKey, 0, len(hosts)*len(exts)*len(systems)*len(targets))
+	for _, h := range hosts {
+		for _, e := range exts {
+			for _, s := range systems {
+				for _, tgt := range targets {
+					keys = append(keys, pairKey{host: h, ext: e, system: s, target: tgt})
+				}
+			}
+		}
+	}
+	return keys
 }
 
 func targetCols(targets []float64) []string {

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datacenter"
+)
+
+// TestFleetMatchesProjection is the measured-vs-analytic cross-check
+// behind Figure 17sim: for web-search × WL1 at bench scale, the
+// extra-server count extrapolated from the simulated fleet must land
+// within 15% of datacenter.Project's closed-form prediction. The two
+// routes share the power model but measure utilization on entirely
+// different machines (fleet servers vs harness pair runs, different
+// seeds), so agreement here says the warehouse-scale claims don't hinge
+// on the closed form.
+func TestFleetMatchesProjection(t *testing.T) {
+	wl1 := datacenter.TableIII()[0]
+	if wl1.Name != "WL1" {
+		t.Fatalf("TableIII()[0] = %q, want WL1", wl1.Name)
+	}
+	cmp, err := shared.FleetCompare("web-search", wl1)
+	if err != nil {
+		t.Fatalf("FleetCompare: %v", err)
+	}
+	if cmp.AnalyticExtra <= 0 {
+		t.Fatalf("analytic projection predicts %d extra servers", cmp.AnalyticExtra)
+	}
+	rel := math.Abs(float64(cmp.MeasuredExtra-cmp.AnalyticExtra)) / float64(cmp.AnalyticExtra)
+	if rel > 0.15 {
+		t.Errorf("measured extra servers %d vs analytic %d: %.1f%% apart, want <= 15%%",
+			cmp.MeasuredExtra, cmp.AnalyticExtra, rel*100)
+	}
+	// The energy ratios ride on the same utilizations; they should agree
+	// at least loosely.
+	if math.Abs(cmp.MeasuredEnergyRatio-cmp.AnalyticEnergyRatio) > 0.25 {
+		t.Errorf("energy ratios diverge: fleet %.2f vs analytic %.2f",
+			cmp.MeasuredEnergyRatio, cmp.AnalyticEnergyRatio)
+	}
+	// And the simulated fleet must actually be healthy: PC3D holding QoS
+	// (0.82 matches the Figure 15 tolerance at bench's truncated search).
+	if cmp.Metrics.QoS.Min < 0.82 {
+		t.Errorf("fleet min QoS = %.3f at a 0.95 target", cmp.Metrics.QoS.Min)
+	}
+}

@@ -14,6 +14,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -50,6 +51,10 @@ type Scale struct {
 	SPECApps int
 	// Targets are the QoS targets swept (nil = the paper's 90/95/98%).
 	Targets []float64
+	// Workers bounds the figure drivers' experiment fan-out (<=1 = serial).
+	// Every simulated machine is independent, so results are identical at
+	// any worker count; rows stay in paper order.
+	Workers int
 }
 
 // FullScale approximates the paper's experiment coverage.
@@ -169,23 +174,45 @@ type pairKey struct {
 	target    float64
 }
 
-// Runner executes experiments with memoization.
+// cell is a single-flight memoization slot: the first caller runs the
+// experiment inside the sync.Once while latecomers for the same key block
+// on it, so concurrent figure drivers measure each key exactly once
+// (previously a check-unlock-run-store pattern let two callers race past
+// the check and both run the full experiment).
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *cell[T]) do(f func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = f() })
+	return c.val, c.err
+}
+
+// Runner executes experiments with single-flight memoization; it is safe
+// for concurrent use.
 type Runner struct {
 	sc Scale
 
 	mu    sync.Mutex
-	solo  map[string]SoloRates
-	pairs map[pairKey]PairResult
-	bins  map[string]*progbin.Binary // compiled binaries, keyed name+mode
+	solo  map[string]*cell[SoloRates]
+	pairs map[pairKey]*cell[PairResult]
+	bins  map[string]*cell[*progbin.Binary] // compiled binaries, keyed name+mode
+
+	// soloRuns/pairRuns count actual experiment executions (not memoized
+	// hits), so tests can assert in-flight deduplication.
+	soloRuns atomic.Int64
+	pairRuns atomic.Int64
 }
 
 // NewRunner builds a runner at the given scale.
 func NewRunner(sc Scale) *Runner {
 	return &Runner{
 		sc:    sc,
-		solo:  make(map[string]SoloRates),
-		pairs: make(map[pairKey]PairResult),
-		bins:  make(map[string]*progbin.Binary),
+		solo:  make(map[string]*cell[SoloRates]),
+		pairs: make(map[pairKey]*cell[PairResult]),
+		bins:  make(map[string]*cell[*progbin.Binary]),
 	}
 }
 
@@ -199,39 +226,38 @@ func (r *Runner) binary(name string, protean bool) (*progbin.Binary, error) {
 		key += "+protean"
 	}
 	r.mu.Lock()
-	b := r.bins[key]
+	c := r.bins[key]
+	if c == nil {
+		c = &cell[*progbin.Binary]{}
+		r.bins[key] = c
+	}
 	r.mu.Unlock()
-	if b != nil {
-		return b, nil
-	}
-	spec, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown app %q", name)
-	}
-	var err error
-	if protean {
-		b, err = spec.CompileProtean()
-	} else {
-		b, err = spec.CompilePlain()
-	}
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.bins[key] = b
-	r.mu.Unlock()
-	return b, nil
+	return c.do(func() (*progbin.Binary, error) {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown app %q", name)
+		}
+		if protean {
+			return spec.CompileProtean()
+		}
+		return spec.CompilePlain()
+	})
 }
 
 // Solo measures (and caches) an app's interference-free IPS and BPS.
 func (r *Runner) Solo(name string) (SoloRates, error) {
 	r.mu.Lock()
-	if s, ok := r.solo[name]; ok {
-		r.mu.Unlock()
-		return s, nil
+	c := r.solo[name]
+	if c == nil {
+		c = &cell[SoloRates]{}
+		r.solo[name] = c
 	}
 	r.mu.Unlock()
+	return c.do(func() (SoloRates, error) { return r.runSolo(name) })
+}
 
+func (r *Runner) runSolo(name string) (SoloRates, error) {
+	r.soloRuns.Add(1)
 	bin, err := r.binary(name, false)
 	if err != nil {
 		return SoloRates{}, err
@@ -245,28 +271,30 @@ func (r *Runner) Solo(name string) (SoloRates, error) {
 	c0 := p.Counters()
 	m.RunSeconds(r.sc.SoloSeconds)
 	d := p.Counters().Sub(c0)
-	s := SoloRates{
+	return SoloRates{
 		IPS: float64(d.Insts) / r.sc.SoloSeconds,
 		BPS: float64(d.Branches) / r.sc.SoloSeconds,
-	}
-	r.mu.Lock()
-	r.solo[name] = s
-	r.mu.Unlock()
-	return s, nil
+	}, nil
 }
 
 // RunPair executes one co-location experiment: ext (high priority, plain)
 // on core 0, host on core 1, the protean runtime (PC3D only) on core 2.
-// Results are memoized per (host, ext, system, target).
+// Results are memoized per (host, ext, system, target) with in-flight
+// deduplication.
 func (r *Runner) RunPair(host, ext string, system System, target float64) (PairResult, error) {
 	key := pairKey{host: host, ext: ext, system: system, target: target}
 	r.mu.Lock()
-	if pr, ok := r.pairs[key]; ok {
-		r.mu.Unlock()
-		return pr, nil
+	c := r.pairs[key]
+	if c == nil {
+		c = &cell[PairResult]{}
+		r.pairs[key] = c
 	}
 	r.mu.Unlock()
+	return c.do(func() (PairResult, error) { return r.runPair(host, ext, system, target) })
+}
 
+func (r *Runner) runPair(host, ext string, system System, target float64) (PairResult, error) {
+	r.pairRuns.Add(1)
 	extSolo, err := r.Solo(ext)
 	if err != nil {
 		return PairResult{}, err
@@ -338,8 +366,5 @@ func (r *Runner) RunPair(host, ext string, system System, target float64) (PairR
 	if ctrl != nil {
 		pr.PC3D = ctrl.Stats()
 	}
-	r.mu.Lock()
-	r.pairs[key] = pr
-	r.mu.Unlock()
 	return pr, nil
 }

@@ -344,8 +344,8 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 20 {
-		t.Errorf("artifacts = %d, want 20", len(arts))
+	if len(arts) != 21 {
+		t.Errorf("artifacts = %d, want 21", len(arts))
 	}
 	if _, err := ArtifactByKey("fig4"); err != nil {
 		t.Errorf("fig4 missing: %v", err)

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves the scale's fan-out bound: at most Workers goroutines,
+// never more than useful, and serial when unset.
+func (r *Runner) workers(n int) int {
+	w := r.sc.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// DefaultWorkers is the -workers default: one per host core.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// forEach runs f(0..n-1) across the runner's worker pool and returns the
+// lowest-index error. Results must be written to index i of a caller-owned
+// slice so output order never depends on scheduling; combined with the
+// runner's single-flight memoization this makes every figure driver
+// produce identical rows at any worker count.
+func (r *Runner) forEach(n int, f func(i int) error) error {
+	w := r.workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetchPairs warms the pair memo across the worker pool so a driver's
+// subsequent serial table build hits only cached results. Duplicate keys
+// are collapsed by the single-flight cells.
+func (r *Runner) prefetchPairs(keys []pairKey) error {
+	return r.forEach(len(keys), func(i int) error {
+		k := keys[i]
+		_, err := r.RunPair(k.host, k.ext, k.system, k.target)
+		return err
+	})
+}

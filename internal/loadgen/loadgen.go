@@ -5,6 +5,8 @@
 package loadgen
 
 import (
+	"math"
+
 	"repro/internal/machine"
 )
 
@@ -54,6 +56,55 @@ func Figure16(duration float64) Steps {
 		{Until: 2 * duration / 3, Load: 0.25},
 		{Until: duration, Load: 0.93},
 	}
+}
+
+// Diurnal is a sinusoidal day/night load curve: the load swings between
+// Low (trough) and High (crest) with the given Period, starting at the
+// trough at t=0. It models the datacenter-wide daily pattern that makes a
+// fleet's servers heterogeneous once per-server phase offsets are applied.
+type Diurnal struct {
+	// Period is one full day in simulated seconds.
+	Period float64
+	// Low and High bound the offered load, both in [0,1].
+	Low, High float64
+}
+
+// Load returns the diurnal level at t.
+func (d Diurnal) Load(t float64) float64 {
+	if d.Period <= 0 {
+		return d.Low
+	}
+	mid := (d.High + d.Low) / 2
+	amp := (d.High - d.Low) / 2
+	return mid - amp*math.Cos(2*math.Pi*t/d.Period)
+}
+
+// Offset shifts an underlying trace earlier by By seconds: at time t it
+// reports the underlying level at t+By. Fleets give each server a distinct
+// offset so the cluster sweeps the whole diurnal phase space at any
+// instant, the standard trick for modeling geographically spread or
+// staggered request populations.
+type Offset struct {
+	Trace Trace
+	By    float64
+}
+
+// Load returns the shifted level.
+func (o Offset) Load(t float64) float64 { return o.Trace.Load(t + o.By) }
+
+// MeanLoad averages a trace over [0, duration] by sampling, for placement
+// policies that need each server's expected offered load before any
+// measurement exists.
+func MeanLoad(tr Trace, duration float64) float64 {
+	if tr == nil || duration <= 0 {
+		return 0
+	}
+	const samples = 64
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		sum += tr.Load(duration * (float64(i) + 0.5) / samples)
+	}
+	return sum / samples
 }
 
 // Generator grants request budget to a gated process according to a trace.

@@ -31,6 +31,55 @@ func TestTraces(t *testing.T) {
 	}
 }
 
+func TestDiurnal(t *testing.T) {
+	d := Diurnal{Period: 100, Low: 0.2, High: 0.8}
+	if got := d.Load(0); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("trough Load(0) = %v, want 0.2", got)
+	}
+	if got := d.Load(50); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("crest Load(50) = %v, want 0.8", got)
+	}
+	if got := d.Load(25); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("midpoint Load(25) = %v, want 0.5", got)
+	}
+	if got := d.Load(100); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("period wrap Load(100) = %v, want 0.2", got)
+	}
+	if got := (Diurnal{Low: 0.3}).Load(10); got != 0.3 {
+		t.Errorf("zero-period Diurnal = %v, want Low", got)
+	}
+}
+
+func TestOffsetShiftsPhase(t *testing.T) {
+	d := Diurnal{Period: 100, Low: 0, High: 1}
+	o := Offset{Trace: d, By: 50}
+	for _, tt := range []float64{0, 10, 33, 75} {
+		if got, want := o.Load(tt), d.Load(tt+50); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Offset.Load(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestMeanLoad(t *testing.T) {
+	if got := MeanLoad(Constant(0.4), 100); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("MeanLoad(const) = %v", got)
+	}
+	// A full diurnal period averages to the midpoint.
+	d := Diurnal{Period: 100, Low: 0.2, High: 0.8}
+	if got := MeanLoad(d, 100); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("MeanLoad(diurnal, full period) = %v, want ~0.5", got)
+	}
+	// Offset servers at opposite phases see different partial-window means.
+	a := MeanLoad(Offset{Trace: d, By: 0}, 25)
+	b := MeanLoad(Offset{Trace: d, By: 50}, 25)
+	if a >= b {
+		t.Errorf("trough-phase mean %v should be below crest-phase mean %v", a, b)
+	}
+	if got := MeanLoad(nil, 10); got != 0 {
+		t.Errorf("MeanLoad(nil) = %v", got)
+	}
+}
+
 func TestGeneratorGrantsProportionally(t *testing.T) {
 	spec := workload.MustByName("web-search")
 	bin, err := spec.CompilePlain()
