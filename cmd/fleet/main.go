@@ -8,6 +8,7 @@
 //
 //	fleet -servers 64 -mix WL1 -webservice web-search -policy least-loaded
 //	fleet -servers 16 -mix WL2 -system reqos -diurnal 20 -load-low 0.3 -load-high 0.9
+//	fleet -servers 8 -chaos -crash-rate 0.3 -runtime-mttf 5 -qos-dropout 0.2
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/datacenter"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
 )
@@ -40,6 +42,15 @@ func main() {
 		loadHigh   = flag.Float64("load-high", 0.95, "diurnal peak load fraction")
 		spread     = flag.Float64("phase-spread", 0, "total diurnal phase offset fanned across the fleet, seconds")
 		maxSites   = flag.Int("max-sites", 0, "cap PC3D's search (0 = full search)")
+
+		chaos       = flag.Bool("chaos", false, "enable fault injection (a moderate preset unless rates are given)")
+		faultSeed   = flag.Int64("fault-seed", 0, "fault-schedule seed (0 = the fleet seed)")
+		crashRate   = flag.Float64("crash-rate", 0, "per-server whole-machine crash probability")
+		restart     = flag.Float64("restart-delay", 0.5, "scheduler re-placement delay after a server crash, seconds")
+		compileFail = flag.Float64("compile-fail", 0, "per-compile-job failure probability in the protean runtime")
+		runtimeMTTF = flag.Float64("runtime-mttf", 0, "protean runtime mean time to failure, seconds (0 = never)")
+		qosDropout  = flag.Float64("qos-dropout", 0, "probability each QoS sensor window goes dark")
+		dropoutSecs = flag.Float64("dropout-seconds", 0.2, "QoS sensor dropout window length, seconds")
 	)
 	flag.Parse()
 
@@ -60,6 +71,26 @@ func main() {
 		trace = loadgen.Diurnal{Period: *diurnal, Low: *loadLow, High: *loadHigh}
 	}
 
+	var ch *faults.Chaos
+	if *chaos || *crashRate > 0 || *compileFail > 0 || *runtimeMTTF > 0 || *qosDropout > 0 {
+		ch = &faults.Chaos{
+			Seed:                    *faultSeed,
+			ServerCrashProb:         *crashRate,
+			RestartDelaySeconds:     *restart,
+			CompileFailProb:         *compileFail,
+			RuntimeCrashMTTFSeconds: *runtimeMTTF,
+			QoSDropoutProb:          *qosDropout,
+			QoSDropoutSeconds:       *dropoutSecs,
+		}
+		if *chaos && *crashRate == 0 && *compileFail == 0 && *runtimeMTTF == 0 && *qosDropout == 0 {
+			// Bare -chaos: a moderate every-fault-class preset.
+			ch.ServerCrashProb = 0.3
+			ch.CompileFailProb = 0.15
+			ch.RuntimeCrashMTTFSeconds = 10
+			ch.QoSDropoutProb = 0.15
+		}
+	}
+
 	f, err := fleet.New(fleet.Config{
 		Servers:            *servers,
 		Instances:          *instances,
@@ -76,6 +107,7 @@ func main() {
 		Trace:              trace,
 		PhaseSpreadSeconds: *spread,
 		MaxSites:           *maxSites,
+		Chaos:              ch,
 	})
 	if err != nil {
 		failErr(err)
@@ -97,6 +129,19 @@ func main() {
 	fmt.Printf("batch throughput:        %.2f dedicated-server units\n", m.BatchUnits)
 	fmt.Printf("extra servers avoided:   %d (no-co-location equivalent)\n", m.ExtraServersEquivalent)
 	fmt.Printf("energy efficiency:       %.2fx vs no-co-location fleet\n", m.EnergyEfficiencyRatio)
+	if ch != nil {
+		fmt.Printf("\nfault injection:\n")
+		fmt.Printf("  availability:          %.3f mean up-fraction of the measurement window\n", m.Availability)
+		fmt.Printf("  server crashes:        %d (%d instances re-placed, %d unplaced)\n",
+			m.Crashes, m.Replacements, m.UnplacedInstances)
+		fmt.Printf("  runtime crashes:       %d (%d supervised restarts)\n", m.RuntimeCrashes, m.RuntimeRestarts)
+		fmt.Printf("  compile failures:      %d\n", m.CompileFailures)
+		fmt.Printf("  sensor dropouts:       %d\n", m.SensorDropouts)
+		fmt.Printf("  degraded survivors:    QoS %.3f/%.3f/%.3f util %.3f/%.3f/%.3f (mean/p50/min)\n",
+			m.DegradedQoS.Mean, m.DegradedQoS.P50, m.DegradedQoS.Min,
+			m.DegradedUtilization.Mean, m.DegradedUtilization.P50, m.DegradedUtilization.Min)
+	}
+
 	fmt.Printf("\nper-app mean utilization:\n")
 	for _, app := range mix.Apps {
 		if u, ok := m.PerApp[app]; ok {

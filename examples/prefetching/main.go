@@ -62,7 +62,9 @@ func main() {
 	opt := meter.Read(m)
 	fmt.Printf("lbm with PCSP:   %8.0f branches/s (%.2fx)\n", opt.BPS, opt.BPS/base.BPS)
 
-	rt.RevertAll()
+	if err := rt.RevertAll(); err != nil {
+		log.Fatalf("revert: %v", err)
+	}
 	m.RunSeconds(0.3)
 	meter.Read(m)
 	m.RunSeconds(1)

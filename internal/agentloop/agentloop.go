@@ -13,25 +13,37 @@ import "repro/internal/machine"
 
 // Loop runs a sequential policy function as a machine.Agent.
 type Loop struct {
-	fn      func(*Loop)
-	tick    chan *machine.Machine
-	done    chan struct{}
-	started bool
-	closed  bool
-	holding bool
+	fn       func(*Loop)
+	tick     chan *machine.Machine
+	done     chan struct{}
+	finished chan struct{}
+	m        *machine.Machine // machine seen at the last Tick
+	started  bool
+	closed   bool
+	drained  bool
+	holding  bool
 }
 
 // New wraps a policy. The policy receives the Loop and must call Wait (or
 // a Wait* helper) to receive quantum ticks; when Wait returns nil the loop
 // is closing and the policy must return promptly.
 func New(fn func(*Loop)) *Loop {
-	return &Loop{fn: fn, tick: make(chan *machine.Machine), done: make(chan struct{})}
+	return &Loop{
+		fn:       fn,
+		tick:     make(chan *machine.Machine),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
 }
 
 // Tick delivers one quantum to the policy and blocks until the policy
 // yields. Implements machine.Agent.
 func (l *Loop) Tick(m *machine.Machine) {
+	l.m = m
 	if l.closed {
+		// A Close deferred to the quantum boundary may not have drained yet;
+		// finishing it here keeps post-Close ticks no-ops either way.
+		l.drain()
 		return
 	}
 	if !l.started {
@@ -42,19 +54,44 @@ func (l *Loop) Tick(m *machine.Machine) {
 	<-l.done
 }
 
-// Close shuts the policy down. Call only between machine quanta (never
-// from inside another agent's Tick for the same machine). Idempotent.
+// Close shuts the policy down and, when it can do so safely, waits for the
+// policy goroutine to exit. Safe to call from anywhere on the machine's
+// goroutine — including from inside an agent Tick for the same machine
+// (e.g. a supervisor reaping a crashed runtime's policy): closing there
+// would wake the policy goroutine concurrently with the in-flight agent
+// iteration, so the actual shutdown is deferred to the quantum boundary
+// via machine.Defer. Idempotent.
 func (l *Loop) Close() {
 	if l.closed {
 		return
 	}
 	l.closed = true
-	if l.started {
-		close(l.tick)
+	if !l.started {
+		return
 	}
+	if l.m != nil && l.m.InTick() {
+		l.m.Defer(l.drain)
+		return
+	}
+	l.drain()
+}
+
+// drain closes the tick channel and waits for the policy goroutine to
+// finish, so no policy code ever runs concurrently with the caller. Must
+// not be called from the policy goroutine itself (Close never does: policy
+// code only runs while the machine is mid-tick, which takes the Defer
+// path).
+func (l *Loop) drain() {
+	if l.drained || !l.started {
+		return
+	}
+	l.drained = true
+	close(l.tick)
+	<-l.finished
 }
 
 func (l *Loop) run() {
+	defer close(l.finished)
 	l.fn(l)
 	l.release()
 	// The policy returned; keep absorbing ticks until Close.

@@ -113,3 +113,55 @@ func TestCloseBeforeStartAndIdempotent(t *testing.T) {
 	// Tick after close is a no-op.
 	l.Tick(machine.New(machine.Config{Cores: 1}))
 }
+
+func TestCloseFromAnotherAgentsTick(t *testing.T) {
+	// A supervisor agent reaping a policy mid-quantum must not wake the
+	// policy goroutine while the machine is still delivering ticks: the
+	// close is deferred to the quantum boundary and drained synchronously.
+	m := machine.New(machine.Config{Cores: 1})
+	ticks := 0
+	var loopDone bool
+	l := New(func(l *Loop) {
+		for l.Wait() != nil {
+			ticks++
+		}
+		loopDone = true
+	})
+	m.AddAgent(l)
+	closeAt, closedOnce := 3, false
+	m.AddAgent(machine.AgentFunc(func(mm *machine.Machine) {
+		if ticks == closeAt && !closedOnce {
+			closedOnce = true
+			l.Close()
+			if loopDone {
+				t.Error("policy exited mid-tick; close was not deferred")
+			}
+		}
+	}))
+	m.RunQuanta(10)
+	if ticks != closeAt {
+		t.Errorf("policy saw %d ticks, want %d", ticks, closeAt)
+	}
+	if !loopDone {
+		t.Error("policy goroutine never drained after deferred close")
+	}
+	// Further ticks and closes are no-ops.
+	l.Tick(m)
+	l.Close()
+}
+
+func TestCloseFromOwnPolicy(t *testing.T) {
+	// A policy closing its own loop must not deadlock: the close happens
+	// mid-tick, so it defers; the boundary drain then waits for the policy
+	// goroutine, which has already returned.
+	m := machine.New(machine.Config{Cores: 1})
+	var l *Loop
+	l = New(func(inner *Loop) {
+		inner.Wait()
+		inner.Wait()
+		l.Close()
+	})
+	m.AddAgent(l)
+	m.RunQuanta(5) // must not deadlock
+	l.Close()
+}

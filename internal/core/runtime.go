@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/isa"
@@ -34,6 +35,12 @@ var ErrNotProtean = errors.New("core: host binary is not protean (no embedded me
 // ErrNotVirtualized is returned when dispatching a variant of a function
 // that has no EVT slot.
 var ErrNotVirtualized = errors.New("core: function has no virtualized edges")
+
+// ErrCrashed is returned by runtime operations after Crash: the runtime
+// process is gone, so it can neither compile nor touch the EVT. The host
+// keeps executing whatever code the EVT currently points at — recovery is
+// the supervisor's job (package supervise).
+var ErrCrashed = errors.New("core: runtime has crashed")
 
 // SameCore designates that the runtime shares the host's core.
 const SameCore = -1
@@ -53,6 +60,13 @@ type Options struct {
 	// counter reads) attributed to the runtime each sampling period
 	// (default 30; the paper's monitoring is sub-1%).
 	MonitorCyclesPerTick uint64
+	// CompileFault, when non-nil, is consulted as each compile job
+	// completes; a non-nil error fails the job (after it has burned its
+	// modeled latency) instead of producing a variant. The job sequence
+	// number is assigned at request time, so fault schedules keyed on it
+	// are independent of completion interleaving. Used for deterministic
+	// fault injection (package faults).
+	CompileFault func(fn string, job uint64) error
 }
 
 func (o Options) withDefaults(m *machine.Machine) Options {
@@ -95,6 +109,7 @@ type compileJob struct {
 	meta      any
 	onDone    func(*Variant, error)
 	finishAt  uint64
+	seq       uint64
 }
 
 // Runtime is one protean runtime attached to one host process. It
@@ -109,6 +124,8 @@ type Runtime struct {
 
 	jobs      []compileJob
 	busyUntil uint64
+	jobSeq    uint64
+	crashed   bool
 
 	variants   map[string][]*Variant
 	dispatched map[string]*Variant
@@ -157,8 +174,12 @@ func (rt *Runtime) IR() *ir.Module { return rt.baseIR }
 func (rt *Runtime) Sampler() *sampling.PCSampler { return rt.sampler }
 
 // Tick advances the runtime one quantum: takes PC samples, accounts
-// monitoring cost, and completes finished compile jobs.
+// monitoring cost, and completes finished compile jobs. A crashed runtime
+// does nothing.
 func (rt *Runtime) Tick(m *machine.Machine) {
+	if rt.crashed {
+		return
+	}
 	rt.sampler.Tick(m)
 	now := m.Now()
 	if now-rt.lastSample >= rt.opts.SampleInterval {
@@ -184,6 +205,9 @@ func (rt *Runtime) PendingJobs() int { return len(rt.jobs) }
 // variant is installed into the code cache and onDone is invoked (nil
 // Variant on error). The host continues executing throughout.
 func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDone func(*Variant, error)) error {
+	if rt.crashed {
+		return ErrCrashed
+	}
 	if rt.baseIR.Func(fn) == nil {
 		return fmt.Errorf("core: request variant of unknown function %q", fn)
 	}
@@ -199,8 +223,10 @@ func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDo
 	if rt.opts.RuntimeCore == SameCore {
 		rt.host.StealCycles(rt.opts.CompileCycles)
 	}
+	seq := rt.jobSeq
+	rt.jobSeq++
 	rt.jobs = append(rt.jobs, compileJob{
-		fn: fn, transform: transform, meta: meta, onDone: onDone, finishAt: finish,
+		fn: fn, transform: transform, meta: meta, onDone: onDone, finishAt: finish, seq: seq,
 	})
 	return nil
 }
@@ -208,6 +234,11 @@ func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDo
 // finishJob does the actual work "after" the modeled compile latency:
 // clone the IR, transform, lower against the host program, install.
 func (rt *Runtime) finishJob(job compileJob) (*Variant, error) {
+	if rt.opts.CompileFault != nil {
+		if err := rt.opts.CompileFault(job.fn, job.seq); err != nil {
+			return nil, fmt.Errorf("core: compile %q: %w", job.fn, err)
+		}
+	}
 	clone := rt.baseIR.Clone()
 	if err := job.transform(clone); err != nil {
 		return nil, fmt.Errorf("core: transform %q: %w", job.fn, err)
@@ -235,6 +266,9 @@ func (rt *Runtime) finishJob(job compileJob) (*Variant, error) {
 // Dispatch reroutes fn's virtualized edges to the variant — the EVT
 // manager's single atomic write.
 func (rt *Runtime) Dispatch(v *Variant) error {
+	if rt.crashed {
+		return ErrCrashed
+	}
 	slot := rt.host.EVT().SlotFor(v.Func)
 	if slot < 0 {
 		return fmt.Errorf("%w: %q", ErrNotVirtualized, v.Func)
@@ -247,6 +281,9 @@ func (rt *Runtime) Dispatch(v *Variant) error {
 
 // Revert points fn's virtualized edges back at the original static code.
 func (rt *Runtime) Revert(fn string) error {
+	if rt.crashed {
+		return ErrCrashed
+	}
 	slot := rt.host.EVT().SlotFor(fn)
 	if slot < 0 {
 		return fmt.Errorf("%w: %q", ErrNotVirtualized, fn)
@@ -261,16 +298,40 @@ func (rt *Runtime) Revert(fn string) error {
 	return nil
 }
 
-// RevertAll restores every dispatched function to its original code.
-func (rt *Runtime) RevertAll() {
+// RevertAll restores every dispatched function to its original code. It
+// attempts every function even if some fail and returns the failures
+// joined, in deterministic (sorted-name) order.
+func (rt *Runtime) RevertAll() error {
+	if rt.crashed {
+		return ErrCrashed
+	}
+	fns := make([]string, 0, len(rt.dispatched))
 	for fn := range rt.dispatched {
-		// Revert cannot fail here: fn was dispatched, so it has a slot and
-		// an original entry.
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	var errs []error
+	for _, fn := range fns {
 		if err := rt.Revert(fn); err != nil {
-			panic(fmt.Sprintf("core: RevertAll: %v", err))
+			errs = append(errs, err)
 		}
 	}
+	return errors.Join(errs...)
 }
+
+// Crash models the runtime process dying (fault injection): pending compile
+// jobs are dropped without their onDone callbacks, and every subsequent
+// operation returns ErrCrashed. The host process is untouched — it keeps
+// executing whatever the EVT currently targets, which is the paper's
+// safety property. Recovery (reverting the EVT to static code and
+// re-attaching a fresh runtime) belongs to package supervise.
+func (rt *Runtime) Crash() {
+	rt.crashed = true
+	rt.jobs = nil
+}
+
+// Crashed reports whether Crash has been called.
+func (rt *Runtime) Crashed() bool { return rt.crashed }
 
 // Dispatched returns the currently dispatched variant of fn, or nil when
 // the original code is live.

@@ -207,7 +207,9 @@ func TestRevertAll(t *testing.T) {
 	if err := rt.Dispatch(v); err != nil {
 		t.Fatalf("Dispatch: %v", err)
 	}
-	rt.RevertAll()
+	if err := rt.RevertAll(); err != nil {
+		t.Fatalf("RevertAll: %v", err)
+	}
 	if rt.Dispatched("hot") != nil {
 		t.Error("RevertAll left a dispatch")
 	}
@@ -225,7 +227,7 @@ func TestRequestUnknownFunction(t *testing.T) {
 }
 
 func TestTransformErrorPropagates(t *testing.T) {
-	m, _, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Options{RuntimeCore: 1})
 	want := errors.New("boom")
 	var got error
 	rt.RequestVariant("hot", func(*ir.Module) error { return want }, nil, func(v *Variant, err error) {
@@ -234,9 +236,102 @@ func TestTransformErrorPropagates(t *testing.T) {
 		}
 		got = err
 	})
+	before := host.Counters()
 	m.RunQuanta(10)
 	if !errors.Is(got, want) {
 		t.Errorf("callback error = %v, want %v", got, want)
+	}
+	// The failed compile aborts the job only; the host keeps executing its
+	// current code and nothing was dispatched.
+	if host.Counters().Sub(before).Insts == 0 {
+		t.Error("host stalled after failed transform")
+	}
+	if rt.Dispatched("hot") != nil {
+		t.Error("failed compile dispatched something")
+	}
+}
+
+func TestCompileFaultInjection(t *testing.T) {
+	// Jobs 0 and 2 fail by injection; 1 succeeds. Sequence numbers are
+	// assigned at request time.
+	injected := errors.New("injected")
+	fault := func(fn string, job uint64) error {
+		if job%2 == 0 {
+			return injected
+		}
+		return nil
+	}
+	m, host, rt := setup(t, Options{RuntimeCore: 1, CompileFault: fault})
+	var errs []error
+	for i := 0; i < 3; i++ {
+		if err := rt.RequestVariant("hot", Identity, nil, func(v *Variant, err error) {
+			errs = append(errs, err)
+		}); err != nil {
+			t.Fatalf("RequestVariant: %v", err)
+		}
+	}
+	before := host.Counters()
+	m.RunQuanta(20)
+	if len(errs) != 3 {
+		t.Fatalf("%d callbacks, want 3", len(errs))
+	}
+	if !errors.Is(errs[0], injected) || errs[1] != nil || !errors.Is(errs[2], injected) {
+		t.Errorf("errs = %v, want [injected, nil, injected]", errs)
+	}
+	if len(rt.Variants("hot")) != 1 {
+		t.Errorf("Variants(hot) = %d, want 1 (failed jobs must not install)", len(rt.Variants("hot")))
+	}
+	if host.Counters().Sub(before).Insts == 0 {
+		t.Error("host stalled across injected compile failures")
+	}
+}
+
+func TestCrashSemantics(t *testing.T) {
+	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	// Dispatch a variant, then queue a compile and crash mid-flight.
+	var v *Variant
+	rt.RequestVariant("hot", Identity, nil, func(vv *Variant, err error) { v = vv })
+	m.RunQuanta(10)
+	if v == nil {
+		t.Fatal("compile did not finish")
+	}
+	if err := rt.Dispatch(v); err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	called := false
+	rt.RequestVariant("hot", Identity, nil, func(*Variant, error) { called = true })
+	rt.Crash()
+	if !rt.Crashed() {
+		t.Fatal("Crashed() false after Crash")
+	}
+	before := host.Counters()
+	m.RunQuanta(20)
+	if called {
+		t.Error("pending compile completed after crash")
+	}
+	if rt.PendingJobs() != 0 {
+		t.Errorf("PendingJobs = %d after crash", rt.PendingJobs())
+	}
+	// Safety property: the host keeps executing; the EVT is untouched (the
+	// dispatched variant stays live until a supervisor reverts it).
+	if host.Counters().Sub(before).Insts == 0 {
+		t.Error("host stalled after runtime crash")
+	}
+	if host.EVT().Target(host.EVT().SlotFor("hot")) != v.EntryPC {
+		t.Error("crash itself rewrote the EVT")
+	}
+	// Every runtime operation now fails with ErrCrashed.
+	if err := rt.RequestVariant("hot", Identity, nil, nil); !errors.Is(err, ErrCrashed) {
+		t.Errorf("RequestVariant error = %v, want ErrCrashed", err)
+	}
+	if err := rt.Dispatch(v); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Dispatch error = %v, want ErrCrashed", err)
+	}
+	if err := rt.Revert("hot"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Revert error = %v, want ErrCrashed", err)
+	}
+	if err := rt.RevertAll(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("RevertAll error = %v, want ErrCrashed", err)
 	}
 }
 

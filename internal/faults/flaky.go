@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/qos"
+)
+
+// FlakySource wraps a qos.Source with a deterministic dropout schedule:
+// while the schedule says the sensor is dark, readings either report
+// absence (ok=false) or — in NaN mode — a NaN claimed as valid, modeling a
+// corrupted rather than dead sensor.
+type FlakySource struct {
+	Src qos.Source
+	// M supplies the current simulated time for the schedule.
+	M *machine.Machine
+	// Drop is the dropout schedule (e.g. Chaos.DropoutFn); nil never drops.
+	Drop func(nowCycles uint64) bool
+	// NaN selects corrupted-sensor mode.
+	NaN bool
+
+	dropped int
+}
+
+// QoS implements qos.Source.
+func (f *FlakySource) QoS() (float64, bool) {
+	if f.Drop != nil && f.Drop(f.M.Now()) {
+		f.dropped++
+		if f.NaN {
+			return math.NaN(), true
+		}
+		return 0, false
+	}
+	return f.Src.QoS()
+}
+
+// Dropped counts readings lost to the schedule.
+func (f *FlakySource) Dropped() int { return f.dropped }
+
+// FlakyWindow wraps a qos.WindowScorer the same way: a window whose Score
+// falls in a dark period yields no (or NaN) signal.
+type FlakyWindow struct {
+	Win  qos.WindowScorer
+	Drop func(nowCycles uint64) bool
+	NaN  bool
+
+	dropped int
+}
+
+// Mark implements qos.WindowScorer.
+func (f *FlakyWindow) Mark(m *machine.Machine) { f.Win.Mark(m) }
+
+// Score implements qos.WindowScorer.
+func (f *FlakyWindow) Score(m *machine.Machine) (float64, bool) {
+	if f.Drop != nil && f.Drop(m.Now()) {
+		f.dropped++
+		if f.NaN {
+			return math.NaN(), true
+		}
+		return 0, false
+	}
+	return f.Win.Score(m)
+}
+
+// Dropped counts windows lost to the schedule.
+func (f *FlakyWindow) Dropped() int { return f.dropped }

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+)
+
+// arrival is a batch instance re-placed onto a server mid-run after its
+// original server crashed.
+type arrival struct {
+	App       string
+	AtSeconds float64
+}
+
+// serverPlan is one server's precomputed fault schedule. Computing the
+// whole plan up front — before any server simulates — keeps the chaos
+// layer inside the determinism contract: every schedule is a pure function
+// of (chaos seed, server index), and the cluster scheduler's re-placement
+// decisions depend only on the placement and the plan, never on simulation
+// results or worker interleaving.
+type serverPlan struct {
+	// crashAtSeconds is when the whole server fails (+Inf = never).
+	crashAtSeconds float64
+	// arrivals are re-placed batch instances landing on this server.
+	arrivals []arrival
+}
+
+func (p serverPlan) crashes() bool { return !math.IsInf(p.crashAtSeconds, 1) }
+
+// chaosPlan is the cluster-wide fault schedule plus scheduler reactions.
+type chaosPlan struct {
+	plans        []serverPlan
+	crashes      int
+	replacements int
+	unplaced     int
+}
+
+// trivialPlan returns an all-healthy plan (chaos disabled).
+func trivialPlan(n int) chaosPlan {
+	cp := chaosPlan{plans: make([]serverPlan, n)}
+	for i := range cp.plans {
+		cp.plans[i].crashAtSeconds = math.Inf(1)
+	}
+	return cp
+}
+
+// buildChaosPlan draws server-crash schedules and simulates the cluster
+// scheduler's reaction: each crashed server's batch instance is re-placed,
+// RestartDelaySeconds after the crash, onto the lowest-index surviving
+// batch-free server. Victims are processed in (crash time, index) order —
+// the order a real scheduler would observe the failures.
+func (f *Fleet) buildChaosPlan(assignment []string) chaosPlan {
+	n := f.cfg.Servers
+	cp := trivialPlan(n)
+	if !f.cfg.Chaos.Enabled() {
+		return cp
+	}
+	ch := *f.cfg.Chaos
+	horizon := f.cfg.SettleSeconds + f.cfg.MeasureSeconds
+
+	type victim struct {
+		idx int
+		at  float64
+	}
+	var victims []victim
+	for i := 0; i < n; i++ {
+		at, crashed := ch.ServerCrashAt(i, horizon)
+		if !crashed {
+			continue
+		}
+		cp.plans[i].crashAtSeconds = at
+		cp.crashes++
+		if assignment[i] != "" {
+			victims = append(victims, victim{i, at})
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].at != victims[b].at {
+			return victims[a].at < victims[b].at
+		}
+		return victims[a].idx < victims[b].idx
+	})
+
+	taken := make([]bool, n)
+	for _, v := range victims {
+		at := v.at + ch.RestartDelaySeconds
+		if at >= horizon {
+			cp.unplaced++
+			continue
+		}
+		target := -1
+		for j := 0; j < n; j++ {
+			if assignment[j] == "" && !taken[j] && !cp.plans[j].crashes() {
+				target = j
+				break
+			}
+		}
+		if target < 0 {
+			cp.unplaced++
+			continue
+		}
+		taken[target] = true
+		cp.plans[target].arrivals = append(cp.plans[target].arrivals, arrival{
+			App: assignment[v.idx], AtSeconds: at,
+		})
+		cp.replacements++
+	}
+	return cp
+}

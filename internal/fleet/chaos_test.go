@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/datacenter"
+	"repro/internal/faults"
+)
+
+// chaosConfig is a small PC3D fleet with every fault class switched on.
+func chaosConfig(workers int) Config {
+	return Config{
+		Servers:        6,
+		Instances:      4,
+		Webservice:     "web-search",
+		Mix:            datacenter.Mix{Name: "test", Apps: []string{"libquantum", "milc"}},
+		System:         SystemPC3D,
+		Seed:           42,
+		Workers:        workers,
+		SoloSeconds:    0.5,
+		SettleSeconds:  1.5,
+		MeasureSeconds: 0.5,
+		MaxSites:       3,
+		Chaos: &faults.Chaos{
+			ServerCrashProb:         0.4,
+			RestartDelaySeconds:     0.3,
+			CompileFailProb:         0.2,
+			RuntimeCrashMTTFSeconds: 1.5,
+			QoSDropoutProb:          0.25,
+		},
+	}
+}
+
+// TestChaosDeterministicAcrossWorkerCounts extends the fleet's core
+// concurrency contract to fault injection: crash schedules, re-placement,
+// supervised runtime restarts, compile faults and sensor dropouts must all
+// land identically at any worker count.
+func TestChaosDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) Metrics {
+		f, err := New(chaosConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	serial := run(1)
+	concurrent := run(4)
+	if !reflect.DeepEqual(serial, concurrent) {
+		t.Fatalf("chaos metrics diverge across worker counts:\nserial:     %+v\nconcurrent: %+v", serial, concurrent)
+	}
+}
+
+func TestChaosMetricsSanity(t *testing.T) {
+	f, err := New(chaosConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Crashes == 0 {
+		t.Fatal("no server crashed at p=0.4 over 6 servers (seed 42); pick a different seed")
+	}
+	if m.Availability <= 0 || m.Availability > 1 {
+		t.Fatalf("Availability = %v", m.Availability)
+	}
+	if m.Availability >= 1 {
+		t.Fatalf("Availability = %v with %d crashes", m.Availability, m.Crashes)
+	}
+	crashed, absorbed := 0, 0
+	for _, r := range m.PerServer {
+		if r.Crashed {
+			crashed++
+			if r.Availability >= 1 {
+				t.Errorf("server %d crashed but Availability = %v", r.Index, r.Availability)
+			}
+		}
+		absorbed += r.Absorbed
+		if r.QoS < 0 || r.QoS > 1.001 {
+			t.Errorf("server %d QoS = %v", r.Index, r.QoS)
+		}
+		if math.IsNaN(r.QoS) || math.IsNaN(r.Utilization) {
+			t.Errorf("server %d has NaN metrics: %+v", r.Index, r)
+		}
+	}
+	if crashed != m.Crashes {
+		t.Errorf("PerServer crashes %d != Metrics.Crashes %d", crashed, m.Crashes)
+	}
+	if absorbed != m.Replacements {
+		t.Errorf("absorbed arrivals %d != Replacements %d", absorbed, m.Replacements)
+	}
+	if m.Replacements+m.UnplacedInstances == 0 && m.Crashes > 0 {
+		// Only fails if no crashed server hosted a batch instance, which
+		// this seed avoids.
+		t.Error("crashes hit batch servers but scheduler neither re-placed nor gave up")
+	}
+	if m.RuntimeRestarts == 0 {
+		t.Error("no supervised runtime restarts at MTTF 1.5s over a 2s run")
+	}
+	if m.SensorDropouts == 0 {
+		t.Error("no sensor dropouts recorded at p=0.25")
+	}
+}
+
+// TestChaosGracefulDegradation: batch throughput and availability must fall
+// as the server-crash rate rises, but the fleet must keep serving (no
+// collapse to zero while any server survives).
+func TestChaosGracefulDegradation(t *testing.T) {
+	run := func(rate float64) Metrics {
+		cfg := chaosConfig(3)
+		cfg.Chaos = &faults.Chaos{ServerCrashProb: rate}
+		if rate == 0 {
+			cfg.Chaos = nil
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	healthy := run(0)
+	faulty := run(0.5)
+	if healthy.Availability != 1 || healthy.Crashes != 0 {
+		t.Fatalf("healthy run reports chaos: %+v", healthy)
+	}
+	if faulty.Crashes == 0 {
+		t.Fatal("no crashes at rate 0.5")
+	}
+	if faulty.Availability >= healthy.Availability {
+		t.Errorf("availability did not degrade: %.3f vs %.3f", faulty.Availability, healthy.Availability)
+	}
+	if faulty.BatchUnits >= healthy.BatchUnits {
+		t.Errorf("batch throughput did not degrade: %.3f vs %.3f", faulty.BatchUnits, healthy.BatchUnits)
+	}
+	if faulty.BatchUnits <= 0 {
+		t.Error("batch throughput collapsed to zero despite survivors")
+	}
+	if faulty.QoS.Mean <= 0.3 {
+		t.Errorf("mean QoS %.3f collapsed under crashes", faulty.QoS.Mean)
+	}
+}

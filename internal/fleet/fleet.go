@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datacenter"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/machine"
 	"repro/internal/pc3d"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/progbin"
 	"repro/internal/qos"
 	"repro/internal/reqos"
+	"repro/internal/supervise"
 	"repro/internal/workload"
 )
 
@@ -118,6 +120,12 @@ type Config struct {
 	// Scale supplies the power-model constants (default
 	// datacenter.DefaultScale()).
 	Scale datacenter.ScaleConfig
+	// Chaos enables deterministic fault injection: server crashes with
+	// scheduler re-placement, protean-runtime crashes (supervised
+	// recovery), compile failures and QoS-sensor dropouts. Nil injects
+	// nothing. Chaos.Seed defaults to Seed, so one seed pins placement and
+	// failures together.
+	Chaos *faults.Chaos
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +153,13 @@ func (c Config) withDefaults() Config {
 	if c.Scale.BaseServers == 0 {
 		c.Scale = datacenter.DefaultScale()
 	}
+	if c.Chaos != nil {
+		ch := c.Chaos.WithDefaults()
+		if ch.Seed == 0 {
+			ch.Seed = c.Seed
+		}
+		c.Chaos = &ch
+	}
 	return c
 }
 
@@ -167,16 +182,37 @@ func (c Config) validate() error {
 // ServerResult is one server's measured steady-state outcome.
 type ServerResult struct {
 	Index int
-	// App is the placed batch instance ("" for a batch-free server).
+	// App is the batch instance the server ended up hosting: the placed
+	// instance, or a re-placed arrival absorbed after another server's
+	// crash ("" for a server that stayed batch-free).
 	App string
 	// Utilization is the batch app's BPS normalized to its solo BPS.
 	Utilization float64
 	// QoS is the webservice's delivered quality: normalized IPS when
-	// saturated, served/offered when load-gated.
+	// saturated, served/offered when load-gated. A crash scales it by the
+	// fraction of the measurement window the server was up.
 	QoS float64
 	// Load is the webservice's mean offered load during measurement
 	// (1.0 when saturated).
 	Load float64
+
+	// Chaos outcomes (zero when fault injection is off).
+
+	// Crashed reports whole-server failure before the run's end.
+	Crashed bool
+	// Availability is the fraction of the measurement window the server
+	// was up (1 when it never crashed).
+	Availability float64
+	// Absorbed counts re-placed batch instances this server picked up.
+	Absorbed int
+	// RuntimeCrashes / RuntimeRestarts count protean-runtime deaths and
+	// supervised re-attaches.
+	RuntimeCrashes  int
+	RuntimeRestarts int
+	// CompileFailures counts compile jobs abandoned after retries;
+	// SensorDropouts counts QoS readings the policy discarded.
+	CompileFailures int
+	SensorDropouts  int
 }
 
 // Dist summarizes a cluster-wide value distribution.
@@ -229,8 +265,33 @@ type Metrics struct {
 	EnergyEfficiencyRatio float64
 	// PerApp averages utilization per batch app, the direct input for
 	// cross-checking datacenter.Project.
-	PerApp map[string]float64
+	PerApp    map[string]float64
 	PerServer []ServerResult
+
+	// Chaos aggregates (zero when fault injection is off).
+
+	// Availability is the mean fraction of the measurement window servers
+	// were up.
+	Availability float64
+	// Crashes counts whole-server failures; Replacements counts batch
+	// instances the scheduler re-placed on survivors; UnplacedInstances
+	// counts victims it could not re-place in time.
+	Crashes           int
+	Replacements      int
+	UnplacedInstances int
+	// RuntimeCrashes / RuntimeRestarts sum protean-runtime deaths and
+	// supervised re-attaches across the fleet.
+	RuntimeCrashes  int
+	RuntimeRestarts int
+	// CompileFailures and SensorDropouts sum per-server policy counts.
+	CompileFailures int
+	SensorDropouts  int
+	// DegradedQoS / DegradedUtilization are the distributions over
+	// fault-affected survivors: servers that stayed up but absorbed a
+	// re-placement, lost a runtime, dropped compiles, or lost sensor
+	// windows. They quantify how gracefully service degrades under faults.
+	DegradedQoS         Dist
+	DegradedUtilization Dist
 }
 
 // calibration holds the immutable solo measurements every server
@@ -356,9 +417,13 @@ func (f *Fleet) Run() (Metrics, error) {
 	for inst, srv := range f.placement {
 		assignment[srv] = apps[inst]
 	}
+	// The fault schedule and the scheduler's re-placement reactions are
+	// fixed before any server simulates, keeping them independent of
+	// worker interleaving.
+	plan := f.buildChaosPlan(assignment)
 	results := make([]ServerResult, f.cfg.Servers)
 	err := f.forEach(f.cfg.Servers, func(i int) error {
-		res, err := f.runServer(i, assignment[i])
+		res, err := f.runServer(i, assignment[i], plan.plans[i])
 		if err != nil {
 			return err
 		}
@@ -368,7 +433,7 @@ func (f *Fleet) Run() (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	return f.aggregate(results), nil
+	return f.aggregate(results, plan), nil
 }
 
 // calibrate measures solo rates, contentiousness and webservice capacity
@@ -494,10 +559,14 @@ func (f *Fleet) place(apps []string) error {
 }
 
 // runServer simulates one server end to end: webservice on core 0, batch
-// instance (if any) on core 1, the protean runtime on core 2.
-func (f *Fleet) runServer(idx int, app string) (ServerResult, error) {
+// instance (if any) on core 1, the protean runtime on core 2. The plan
+// drives fault events: re-placed batch arrivals attach mid-run, and a
+// server crash stops the simulation cold (nothing on the machine makes
+// further progress).
+func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, error) {
 	cfg := f.cfg
 	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx)})
+	freq := m.Config().FreqHz
 
 	wsOpts := machine.ProcessOptions{Restart: true}
 	tr := f.trace(idx)
@@ -514,21 +583,40 @@ func (f *Fleet) runServer(idx int, app string) (ServerResult, error) {
 		m.AddAgent(gen)
 	}
 
-	var host *machine.Process
-	if app != "" {
-		hb := f.cal.plain[app]
-		if cfg.System == SystemPC3D {
-			hb = f.cal.protean[app]
-		}
-		if host, err = m.Attach(1, hb, machine.ProcessOptions{Restart: true}); err != nil {
-			return ServerResult{}, err
-		}
+	// Per-server fault hooks (all nil without chaos).
+	var compileFault func(string, uint64) error
+	var rtCrashFn, dropFn func(uint64) bool
+	dropNaN := false
+	if cfg.Chaos.Enabled() {
+		compileFault = cfg.Chaos.CompileFault(idx)
+		rtCrashFn = cfg.Chaos.RuntimeCrashFn(idx, freq, m.Config().QuantumCycles)
+		dropFn = cfg.Chaos.DropoutFn(idx, freq)
+		dropNaN = cfg.Chaos.QoSDropoutNaN
 	}
 
-	// QoS monitor + mitigation, mirroring the harness pair and trace
-	// experiments: flux probing when saturated, throughput accounting
-	// when load-gated.
-	if host != nil {
+	var host *machine.Process
+	var hostApp string
+	var sup *supervise.Supervisor
+	var ctrls []*pc3d.Controller
+	defer func() {
+		if sup != nil {
+			sup.Close()
+		}
+	}()
+
+	// attachBatch wires a batch instance plus its QoS monitor and
+	// mitigation policy; called at t=0 for the placed instance and again at
+	// arrival events (only between machine quanta).
+	attachBatch := func(a string) error {
+		hb := f.cal.plain[a]
+		if cfg.System == SystemPC3D {
+			hb = f.cal.protean[a]
+		}
+		h, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+		if err != nil {
+			return err
+		}
+		host, hostApp = h, a
 		var src qos.Source
 		var win qos.WindowScorer
 		var extSig func(*machine.Machine) phase.Signature
@@ -553,73 +641,163 @@ func (f *Fleet) runServer(idx int, app string) (ServerResult, error) {
 		}
 		switch cfg.System {
 		case SystemPC3D:
-			rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2})
-			if err != nil {
-				return ServerResult{}, err
+			if dropFn != nil {
+				src = &faults.FlakySource{Src: src, M: m, Drop: dropFn, NaN: dropNaN}
+				win = &faults.FlakyWindow{Win: win, Drop: dropFn, NaN: dropNaN}
 			}
-			m.AddAgent(rt)
-			ctrl := pc3d.New(rt, src, win, extSig, pc3d.Options{Target: cfg.Target, MaxSites: cfg.MaxSites})
-			defer ctrl.Close()
-			m.AddAgent(ctrl)
+			build := func() (*supervise.Session, error) {
+				rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2, CompileFault: compileFault})
+				if err != nil {
+					return nil, err
+				}
+				ctrl := pc3d.New(rt, src, win, extSig, pc3d.Options{Target: cfg.Target, MaxSites: cfg.MaxSites})
+				ctrls = append(ctrls, ctrl)
+				return &supervise.Session{Runtime: rt, Policy: ctrl, Close: ctrl.Close}, nil
+			}
+			s, err := supervise.New(m, host, build, supervise.Options{CrashFn: rtCrashFn})
+			if err != nil {
+				return err
+			}
+			sup = s
+			m.AddAgent(sup)
 		case SystemReQoS:
 			m.AddAgent(reqos.New(host, src, reqos.Options{Target: cfg.Target}))
 		case SystemNone:
 			// Co-location with no mitigation.
 		}
+		return nil
+	}
+	if app != "" {
+		if err := attachBatch(app); err != nil {
+			return ServerResult{}, err
+		}
 	}
 
-	m.RunSeconds(cfg.SettleSeconds)
-	ws0 := ws.Counters()
-	var h0 machine.Counters
-	if host != nil {
-		h0 = host.Counters()
+	// Event-driven timeline: advance in segments to each arrival, the
+	// measurement snapshot, and the crash (or the end), whichever is next.
+	runUntil := func(tSeconds float64) {
+		target := uint64(tSeconds * freq)
+		if target <= m.Now() {
+			return
+		}
+		if quanta := int((target - m.Now()) / m.Config().QuantumCycles); quanta > 0 {
+			m.RunQuanta(quanta)
+		}
 	}
+	horizon := cfg.SettleSeconds + cfg.MeasureSeconds
+	stop := math.Min(plan.crashAtSeconds, horizon)
+	res := ServerResult{Index: idx, App: app, Load: 1, Availability: 1}
+	res.Crashed = plan.crashes()
+
+	var ws0, h0 machine.Counters
 	var off0 uint64
-	if gen != nil {
-		off0 = gen.Offered()
+	snapped := false
+	snapshot := func() {
+		runUntil(cfg.SettleSeconds)
+		ws0 = ws.Counters()
+		if host != nil {
+			h0 = host.Counters()
+		}
+		if gen != nil {
+			off0 = gen.Offered()
+		}
+		snapped = true
 	}
-	m.RunSeconds(cfg.MeasureSeconds)
+	for _, ar := range plan.arrivals {
+		if ar.AtSeconds >= stop {
+			break
+		}
+		if !snapped && ar.AtSeconds > cfg.SettleSeconds {
+			snapshot()
+		}
+		runUntil(ar.AtSeconds)
+		if host == nil {
+			if err := attachBatch(ar.App); err != nil {
+				return ServerResult{}, err
+			}
+			res.App = ar.App
+			res.Absorbed++
+		}
+	}
+	if !snapped && stop > cfg.SettleSeconds {
+		snapshot()
+	}
+	runUntil(stop)
 
-	res := ServerResult{Index: idx, App: app, Load: 1}
-	wsd := ws.Counters().Sub(ws0)
-	if gen != nil {
-		offered := gen.Offered() - off0
-		served := wsd.Completions
-		res.Load = float64(offered) / cfg.MeasureSeconds / f.cal.wsPeakQPS
-		if offered == 0 {
-			res.QoS = 1
+	// A crash inside the measurement window scales delivered QoS by the
+	// up fraction; a crash before it zeroes the measurement entirely.
+	upSeconds := math.Max(0, stop-cfg.SettleSeconds)
+	res.Availability = math.Min(1, upSeconds/cfg.MeasureSeconds)
+	if snapped {
+		wsd := ws.Counters().Sub(ws0)
+		if gen != nil {
+			offered := gen.Offered() - off0
+			served := wsd.Completions
+			res.Load = float64(offered) / cfg.MeasureSeconds / f.cal.wsPeakQPS
+			if offered == 0 {
+				res.QoS = res.Availability
+			} else {
+				res.QoS = math.Min(1, float64(served)/float64(offered)) * res.Availability
+			}
 		} else {
-			res.QoS = math.Min(1, float64(served)/float64(offered))
+			// Insts stop at the crash, so the solo-normalized rate already
+			// reflects the down time.
+			res.QoS = float64(wsd.Insts) / cfg.MeasureSeconds / f.cal.wsSoloIPS
+		}
+		if host != nil {
+			hd := host.Counters().Sub(h0)
+			res.Utilization = float64(hd.Branches) / cfg.MeasureSeconds / f.cal.soloBPS[hostApp]
 		}
 	} else {
-		res.QoS = float64(wsd.Insts) / cfg.MeasureSeconds / f.cal.wsSoloIPS
+		res.QoS, res.Load = 0, 0
 	}
-	if host != nil {
-		hd := host.Counters().Sub(h0)
-		res.Utilization = float64(hd.Branches) / cfg.MeasureSeconds / f.cal.soloBPS[app]
+	if sup != nil {
+		sst := sup.Stats()
+		res.RuntimeCrashes = sst.Crashes
+		res.RuntimeRestarts = sst.Restarts
+	}
+	for _, c := range ctrls {
+		st := c.Stats()
+		res.CompileFailures += st.CompileFailures
+		res.SensorDropouts += st.SensorDropouts
 	}
 	return res, nil
 }
 
 // aggregate folds per-server results into cluster metrics, in server-index
 // order so floating-point sums are identical at any worker count.
-func (f *Fleet) aggregate(results []ServerResult) Metrics {
+func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 	cfg := f.cfg
 	mt := Metrics{
-		Servers:   cfg.Servers,
-		Instances: cfg.Instances,
-		Policy:    cfg.Policy.Name(),
-		System:    cfg.System,
-		PerApp:    make(map[string]float64),
-		PerServer: results,
+		Servers:           cfg.Servers,
+		Instances:         cfg.Instances,
+		Policy:            cfg.Policy.Name(),
+		System:            cfg.System,
+		PerApp:            make(map[string]float64),
+		PerServer:         results,
+		Crashes:           plan.crashes,
+		Replacements:      plan.replacements,
+		UnplacedInstances: plan.unplaced,
 	}
-	var utils, qs []float64
+	var utils, qs, degQ, degU []float64
+	availSum := 0.0
 	perAppN := make(map[string]int)
 	fleetPower, ncPower := 0.0, 0.0
 	for _, r := range results {
 		qs = append(qs, r.QoS)
 		if r.QoS < cfg.Target {
 			mt.QoSViolations++
+		}
+		availSum += r.Availability
+		mt.RuntimeCrashes += r.RuntimeCrashes
+		mt.RuntimeRestarts += r.RuntimeRestarts
+		mt.CompileFailures += r.CompileFailures
+		mt.SensorDropouts += r.SensorDropouts
+		if !r.Crashed && (r.Absorbed > 0 || r.RuntimeCrashes > 0 || r.CompileFailures > 0 || r.SensorDropouts > 0) {
+			degQ = append(degQ, r.QoS)
+			if r.App != "" {
+				degU = append(degU, r.Utilization)
+			}
 		}
 		wsPart := cfg.Scale.WebserviceUtil * r.Load
 		u := 0.0
@@ -638,6 +816,11 @@ func (f *Fleet) aggregate(results []ServerResult) Metrics {
 	}
 	mt.Utilization = distOf(utils)
 	mt.QoS = distOf(qs)
+	mt.DegradedQoS = distOf(degQ)
+	mt.DegradedUtilization = distOf(degU)
+	if cfg.Servers > 0 {
+		mt.Availability = availSum / float64(cfg.Servers)
+	}
 	mt.ExtraServersEquivalent = int(mt.BatchUnits + 0.5)
 	if fleetPower > 0 {
 		mt.EnergyEfficiencyRatio = ncPower / fleetPower

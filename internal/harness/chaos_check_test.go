@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFigureChaosGracefulDegradation runs the figchaos sweep and checks the
+// robustness story end to end: availability and QoS fall monotonically with
+// the fault rate (same seed ⇒ the crash set only grows), and nothing
+// collapses — survivors keep serving batch work and PC3D keeps QoS off the
+// floor even while runtimes crash, compiles fail and sensors go dark.
+func TestFigureChaosGracefulDegradation(t *testing.T) {
+	tab, err := shared.FigureChaos()
+	if err != nil {
+		t.Fatalf("FigureChaos: %v", err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("chaos sweep has %d rows, want >= 3 fault rates", len(tab.Rows))
+	}
+	col := func(row []string, i int) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[i], err)
+		}
+		return v
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if a := col(first, 1); a != 1 {
+		t.Errorf("healthy row availability = %v, want 1", a)
+	}
+	if n := col(first, 6); n != 0 {
+		t.Errorf("healthy row reports %v crashes", n)
+	}
+	prevAvail, prevQoS := 2.0, 2.0
+	for _, row := range tab.Rows {
+		a, q := col(row, 1), col(row, 3)
+		if a > prevAvail+1e-9 {
+			t.Errorf("availability rose with fault rate: %.3f after %.3f (row %v)", a, prevAvail, row)
+		}
+		// QoS tracks the crash set too, but restart/dropout timing adds
+		// small noise between adjacent rates.
+		if q > prevQoS+0.02 {
+			t.Errorf("QoS rose with fault rate: %.3f after %.3f (row %v)", q, prevQoS, row)
+		}
+		prevAvail, prevQoS = a, q
+	}
+	if col(last, 6) == 0 {
+		t.Error("no server crashes at the top fault rate")
+	}
+	if col(last, 8) == 0 {
+		t.Error("no supervised runtime restarts at the top fault rate")
+	}
+	if q := col(last, 3); q >= col(first, 3) {
+		t.Errorf("QoS did not degrade end to end: %.3f healthy vs %.3f at top rate", col(first, 3), q)
+	} else if q <= 0.3 {
+		t.Errorf("mean QoS %.3f collapsed at the top fault rate", q)
+	}
+	if b := col(last, 2); b <= 0 {
+		t.Error("batch throughput collapsed to zero despite survivors")
+	}
+	// The safety property at fleet scale: servers that absorbed faults but
+	// stayed up keep protecting their webservice.
+	if s := col(last, 4); s <= 0.3 {
+		t.Errorf("survivor QoS %.3f collapsed at the top fault rate", s)
+	}
+}

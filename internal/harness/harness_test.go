@@ -344,8 +344,11 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 21 {
-		t.Errorf("artifacts = %d, want 21", len(arts))
+	if len(arts) != 22 {
+		t.Errorf("artifacts = %d, want 22", len(arts))
+	}
+	if _, err := ArtifactByKey("figchaos"); err != nil {
+		t.Errorf("figchaos missing: %v", err)
 	}
 	if _, err := ArtifactByKey("fig4"); err != nil {
 		t.Errorf("fig4 missing: %v", err)

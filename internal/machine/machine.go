@@ -94,11 +94,13 @@ func (f AgentFunc) Tick(m *Machine) { f(m) }
 // interleaved with execution on the caller's goroutine, which is what makes
 // cycle accounting deterministic.
 type Machine struct {
-	cfg    Config
-	hier   *cache.Hierarchy
-	procs  []*Process // indexed by core; nil = idle core
-	agents []Agent
-	now    uint64 // global cycles
+	cfg      Config
+	hier     *cache.Hierarchy
+	procs    []*Process // indexed by core; nil = idle core
+	agents   []Agent
+	now      uint64 // global cycles
+	inTick   bool
+	deferred []func()
 }
 
 // New builds a machine.
@@ -155,6 +157,22 @@ func (m *Machine) Process(core int) *Process { return m.procs[core] }
 // registration order.
 func (m *Machine) AddAgent(a Agent) { m.agents = append(m.agents, a) }
 
+// InTick reports whether the machine is currently delivering quantum-
+// boundary agent callbacks. Code that must not run concurrently with agents
+// (e.g. shutting down an agentloop policy) checks this and uses Defer.
+func (m *Machine) InTick() bool { return m.inTick }
+
+// Defer schedules fn to run on the machine's goroutine after the current
+// quantum's agent callbacks complete. Called outside a tick, fn runs
+// immediately.
+func (m *Machine) Defer(fn func()) {
+	if !m.inTick {
+		fn()
+		return
+	}
+	m.deferred = append(m.deferred, fn)
+}
+
 // RunQuanta advances the machine n quanta.
 func (m *Machine) RunQuanta(n int) {
 	for i := 0; i < n; i++ {
@@ -164,8 +182,18 @@ func (m *Machine) RunQuanta(n int) {
 				p.runUntil(m.now)
 			}
 		}
+		m.inTick = true
 		for _, a := range m.agents {
 			a.Tick(m)
+		}
+		m.inTick = false
+		// Deferred functions may defer more work (still this boundary).
+		for len(m.deferred) > 0 {
+			d := m.deferred
+			m.deferred = nil
+			for _, fn := range d {
+				fn()
+			}
 		}
 	}
 }

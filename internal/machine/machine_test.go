@@ -524,3 +524,39 @@ func TestGatedServerThroughputTracksGrants(t *testing.T) {
 		t.Errorf("served %d of %d offered requests at low load", served, total)
 	}
 }
+
+func TestDeferRunsAtQuantumBoundary(t *testing.T) {
+	m := New(Config{Cores: 1})
+	var order []string
+	m.AddAgent(AgentFunc(func(mm *Machine) {
+		if !mm.InTick() {
+			t.Error("InTick false during agent callback")
+		}
+		order = append(order, "agent1")
+		mm.Defer(func() {
+			order = append(order, "deferred")
+			// Nested defers still run this boundary.
+			mm.Defer(func() { order = append(order, "nested") })
+		})
+	}))
+	m.AddAgent(AgentFunc(func(*Machine) { order = append(order, "agent2") }))
+	m.RunQuanta(1)
+	if m.InTick() {
+		t.Error("InTick true between quanta")
+	}
+	want := []string{"agent1", "agent2", "deferred", "nested"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Outside a tick, Defer runs immediately.
+	ran := false
+	m.Defer(func() { ran = true })
+	if !ran {
+		t.Error("Defer outside a tick did not run immediately")
+	}
+}

@@ -1,0 +1,214 @@
+package pc3d
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/qos"
+	"repro/internal/supervise"
+	"repro/internal/workload"
+)
+
+// buildBareRig is buildRig without attaching a runtime: supervision tests
+// create the runtime (and controller) through a supervise.Builder instead.
+func buildBareRig(t testing.TB, extName, hostName string) *rig {
+	t.Helper()
+	extIPS, hostBPS := soloRates(t, extName, hostName)
+	m := machine.New(machine.Config{Cores: 4})
+	eb, err := workload.MustByName(extName).CompilePlain()
+	if err != nil {
+		t.Fatalf("compile ext: %v", err)
+	}
+	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatalf("attach ext: %v", err)
+	}
+	hb, err := workload.MustByName(hostName).CompileProtean()
+	if err != nil {
+		t.Fatalf("compile host: %v", err)
+	}
+	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatalf("attach host: %v", err)
+	}
+	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)
+	flux.ReferenceIPS = extIPS
+	m.AddAgent(flux)
+	return &rig{m: m, host: host, ext: ext, flux: flux, extSolo: extIPS, hostBPS: hostBPS}
+}
+
+// TestSupervisedCrashMidSearch is the headline safety property (Section
+// III-B): kill the runtime the moment its search has variants dispatched,
+// and the host must end the quantum on original static code with the
+// supervisor re-attaching and resuming the search — the co-runner's QoS
+// never endangered by the recovery itself.
+func TestSupervisedCrashMidSearch(t *testing.T) {
+	r := buildBareRig(t, "er-naive", "libquantum")
+	var ctrls []*Controller
+	build := func() (*supervise.Session, error) {
+		rt, err := core.Attach(r.m, r.host, core.Options{RuntimeCore: 2})
+		if err != nil {
+			return nil, err
+		}
+		ctrl := New(rt, r.flux, &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, extSigFromFlux(r.flux), Options{Target: 0.95})
+		ctrls = append(ctrls, ctrl)
+		return &supervise.Session{Runtime: rt, Policy: ctrl, Close: ctrl.Close}, nil
+	}
+	// Crash exactly once: on the first quantum where the search has a
+	// variant dispatched (EVT rewritten away from static code).
+	crashed := false
+	sup, err := supervise.New(r.m, r.host, build, supervise.Options{
+		CrashFn: func(uint64) bool {
+			if !crashed && !supervise.AllStatic(r.host) {
+				crashed = true
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatalf("supervise.New: %v", err)
+	}
+	r.m.AddAgent(sup)
+	defer sup.Close()
+
+	// Run until the crash fires (the first search dispatches within a few
+	// seconds), then one more quantum for the supervisor to reap.
+	for i := 0; i < 8000 && sup.Stats().Crashes == 0; i++ {
+		r.m.RunQuanta(1)
+	}
+	if sup.Stats().Crashes != 1 {
+		t.Fatal("crash never fired: search dispatched nothing in 8s")
+	}
+	if len(ctrls) != 1 || ctrls[0].Stats().Searches != 1 {
+		t.Fatalf("crash did not land mid-search: %d sessions, stats %+v", len(ctrls), ctrls[0].Stats())
+	}
+	// The same quantum that observed the crash reverted every EVT slot.
+	if !supervise.AllStatic(r.host) {
+		t.Fatal("EVT slots not all static immediately after crash recovery")
+	}
+	if sup.Stats().RevertedSlots == 0 {
+		t.Error("recovery reverted no slots despite a dispatched variant")
+	}
+
+	// The host keeps executing, and the recovery window itself must not
+	// tank the co-runner: original code plus the held nap is no more
+	// aggressive than what the search was already measuring.
+	crashAt := r.m.Now()
+	napAtCrash := r.host.NapIntensity()
+	e0, h0 := r.ext.Counters(), r.host.Counters()
+	r.m.RunSeconds(0.05) // the backoff window, before re-attach
+	if r.host.Counters().Sub(h0).Insts == 0 {
+		t.Error("host stalled during recovery window")
+	}
+	qRecovery := float64(r.ext.Counters().Sub(e0).Insts) / 0.05 / r.extSolo
+	if qRecovery < 0.70 {
+		t.Errorf("co-runner QoS %.3f during recovery window; recovery itself violated QoS", qRecovery)
+	}
+	if got := r.host.NapIntensity(); got != napAtCrash {
+		t.Errorf("recovery changed nap %.3f -> %.3f; it must hold the last safe setting", napAtCrash, got)
+	}
+
+	// Re-attach lands within the first backoff (50 ms), and the fresh
+	// session resumes searching.
+	r.m.RunSeconds(0.1)
+	if sup.Stats().Restarts != 1 {
+		t.Fatalf("Restarts = %d shortly after crash, want 1 (capped backoff)", sup.Stats().Restarts)
+	}
+	if !sup.Healthy() {
+		t.Fatal("supervisor unhealthy after re-attach")
+	}
+	restartLag := float64(r.m.Now()-crashAt) / r.m.Config().FreqHz
+	if restartLag > 0.2 {
+		t.Errorf("re-attach took %.3fs, want within backoff", restartLag)
+	}
+	r.m.RunSeconds(8)
+	if len(ctrls) != 2 {
+		t.Fatalf("no second controller built: %d sessions", len(ctrls))
+	}
+	if ctrls[1].Stats().Searches == 0 {
+		t.Error("restarted controller never resumed the search")
+	}
+	if q, _ := r.steadyState(t, 1.5); q < 0.85 {
+		t.Errorf("steady QoS %.3f after recovery, want protected", q)
+	}
+}
+
+func TestPC3DSurvivesCompileFaults(t *testing.T) {
+	chaos := faults.Chaos{Seed: 11, CompileFailProb: 0.3}
+	extIPS, _ := soloRates(t, "er-naive", "libquantum")
+	m := machine.New(machine.Config{Cores: 4})
+	eb, _ := workload.MustByName("er-naive").CompilePlain()
+	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatalf("attach ext: %v", err)
+	}
+	hb, _ := workload.MustByName("libquantum").CompileProtean()
+	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatalf("attach host: %v", err)
+	}
+	rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2, CompileFault: chaos.CompileFault(0)})
+	if err != nil {
+		t.Fatalf("core.Attach: %v", err)
+	}
+	m.AddAgent(rt)
+	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)
+	flux.ReferenceIPS = extIPS
+	m.AddAgent(flux)
+	ctrl := New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ext}, extSigFromFlux(flux), Options{Target: 0.95})
+	defer ctrl.Close()
+	m.AddAgent(ctrl)
+
+	m.RunSeconds(10)
+	st := ctrl.Stats()
+	if st.Searches == 0 {
+		t.Fatalf("search never ran under compile faults: %+v", st)
+	}
+	if st.CompileRetries == 0 {
+		t.Errorf("no retries recorded at 30%% compile failure rate: %+v", st)
+	}
+	e0 := ext.Counters()
+	m.RunSeconds(1.5)
+	q := float64(ext.Counters().Sub(e0).Insts) / 1.5 / extIPS
+	if q < 0.82 {
+		t.Errorf("QoS %.3f under compile faults, want protected", q)
+	}
+}
+
+func TestPC3DSurvivesSensorDropouts(t *testing.T) {
+	for _, nan := range []bool{false, true} {
+		name := "dead"
+		if nan {
+			name = "nan"
+		}
+		t.Run(name, func(t *testing.T) {
+			chaos := faults.Chaos{Seed: 5, QoSDropoutProb: 0.3, QoSDropoutNaN: nan}.WithDefaults()
+			r := buildRig(t, "er-naive", "libquantum", 0.95)
+			drop := chaos.DropoutFn(0, r.m.Config().FreqHz)
+			steady := &faults.FlakySource{Src: r.flux, M: r.m, Drop: drop, NaN: nan}
+			win := &faults.FlakyWindow{Win: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, Drop: drop, NaN: nan}
+			ctrl := New(r.rt, steady, win, extSigFromFlux(r.flux), Options{Target: 0.95})
+			defer ctrl.Close()
+			r.m.AddAgent(ctrl)
+
+			r.m.RunSeconds(10)
+			st := ctrl.Stats()
+			if st.Searches == 0 {
+				t.Fatalf("search never ran under sensor dropouts: %+v", st)
+			}
+			if st.SensorDropouts == 0 {
+				t.Errorf("no dropouts recorded at 30%% window loss: %+v", st)
+			}
+			if math.IsNaN(st.CurrentNap) {
+				t.Fatal("NaN reached the nap setting")
+			}
+			if q, _ := r.steadyState(t, 1.5); q < 0.80 {
+				t.Errorf("QoS %.3f under dropouts, want protected", q)
+			}
+		})
+	}
+}

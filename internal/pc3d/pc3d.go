@@ -15,6 +15,7 @@ package pc3d
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -59,6 +60,13 @@ type Options struct {
 	// greedy pass never terminates early on a collapsed bracket. Ablation
 	// only; the paper's search always reuses bounds.
 	NoBoundsReuse bool
+	// CompileRetries is how many times a failed compile of one variant is
+	// retried (with exponential backoff) before the function is skipped for
+	// that mask. Default 3.
+	CompileRetries int
+	// CompileBackoffCycles is the wait before the first compile retry,
+	// doubling per attempt. Default 8 ms.
+	CompileBackoffCycles uint64
 	// Trace, when non-nil, receives search-decision log lines.
 	Trace func(format string, args ...any)
 }
@@ -86,6 +94,12 @@ func (o Options) withDefaults(m *machine.Machine) Options {
 	if o.AdjustStep == 0 {
 		o.AdjustStep = 0.05
 	}
+	if o.CompileRetries == 0 {
+		o.CompileRetries = 3
+	}
+	if o.CompileBackoffCycles == 0 {
+		o.CompileBackoffCycles = 8 * ms
+	}
 	return o
 }
 
@@ -104,6 +118,13 @@ type Stats struct {
 	BestMaskSize int
 	// CurrentNap is the nap intensity currently applied.
 	CurrentNap float64
+	// CompileFailures counts compile jobs that failed even after retries.
+	CompileFailures int
+	// CompileRetries counts individual retry attempts after failed compiles.
+	CompileRetries int
+	// SensorDropouts counts QoS readings discarded as missing or invalid
+	// (NaN/Inf): the controller holds its last safe setting through them.
+	SensorDropouts int
 }
 
 // Controller is the PC3D decision engine for one host/co-runner pair. It
@@ -214,12 +235,19 @@ func (c *Controller) policy(l *agentloop.Loop) {
 			}
 		}
 		q, ok := c.steady.QoS()
+		if ok && (math.IsNaN(q) || math.IsInf(q, 0)) {
+			// Corrupted sensor reading claimed as valid: treat it like a
+			// dropout rather than propagating NaN into nap arithmetic.
+			c.stats.SensorDropouts++
+			ok = false
+		}
 		if ok && q >= opts.Target {
 			c.violations = 0
 		}
 		switch {
 		case !ok:
-			// No estimate yet; keep waiting.
+			// No estimate (warming up, or the sensor went dark): hold the
+			// last safe nap and mask; decisions resume on fresh data.
 		case q >= opts.Target && c.host.NapIntensity() > 0 && !c.searched:
 			// Headroom before any search: relax the nap.
 			c.setNap(c.host.NapIntensity() - opts.AdjustStep)
@@ -413,15 +441,28 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 		if m = l.WaitCycles(c.opts.SettleCycles); m == nil {
 			return 0, 0, false
 		}
-		c.win.Mark(m)
-		c.hostMeter.Read(m)
-		if m = l.WaitCycles(c.opts.WindowCycles); m == nil {
-			return 0, 0, false
+		// A dark or corrupted QoS sensor invalidates the window; re-measure
+		// up to three times before giving up on this probe.
+		for attempt := 0; ; attempt++ {
+			c.win.Mark(m)
+			c.hostMeter.Read(m)
+			if m = l.WaitCycles(c.opts.WindowCycles); m == nil {
+				return 0, 0, false
+			}
+			q, qok := c.win.Score(m)
+			r := c.hostMeter.Read(m)
+			c.stats.NapProbes++
+			if qok && !math.IsNaN(q) && !math.IsInf(q, 0) {
+				return q, r.BPS, true
+			}
+			c.stats.SensorDropouts++
+			if attempt >= 2 {
+				// Still no signal: fail the probe conservatively. A probe
+				// that "misses QoS" drives the binary search toward more
+				// napping, which can never hurt the co-runner.
+				return -1, r.BPS, true
+			}
 		}
-		q, _ := c.win.Score(m)
-		r := c.hostMeter.Read(m)
-		c.stats.NapProbes++
-		return q, r.BPS, true
 	}
 	loRaised := false
 	for hi-lo > c.opts.NapTolerance {
@@ -482,7 +523,8 @@ func (c *Controller) applyMask(l *agentloop.Loop, m *machine.Machine, mask map[i
 		if !anySet {
 			if c.rt.Dispatched(fn) != nil {
 				if err := c.rt.Revert(fn); err != nil {
-					panic(fmt.Sprintf("pc3d: revert %s: %v", fn, err))
+					// ErrCrashed: the supervisor owns recovery; skip.
+					c.trace("revert %s: %v", fn, err)
 				}
 			}
 			continue
@@ -490,36 +532,69 @@ func (c *Controller) applyMask(l *agentloop.Loop, m *machine.Machine, mask map[i
 		if v := c.cache[key]; v != nil {
 			if c.rt.Dispatched(fn) != v {
 				if err := c.rt.Dispatch(v); err != nil {
-					panic(fmt.Sprintf("pc3d: dispatch %s: %v", fn, err))
+					c.trace("dispatch %s: %v", fn, err)
 				}
 			}
 			continue
 		}
 		// Compile asynchronously and wait for the runtime to deliver it.
+		// Transient failures retry with exponential backoff; a function
+		// that still fails keeps its current code for this mask — the
+		// search just measures the variant without that flip.
 		var got *core.Variant
-		var cerr error
-		doneFlag := false
-		err := c.rt.RequestVariant(fn, core.NTTransform(cloneMask(mask)), key, func(v *core.Variant, err error) {
-			got, cerr, doneFlag = v, err, true
-		})
-		if err != nil {
-			panic(fmt.Sprintf("pc3d: request variant of %s: %v", fn, err))
-		}
-		for !doneFlag {
-			if m = l.Wait(); m == nil {
+		backoff := c.opts.CompileBackoffCycles
+		for attempt := 0; ; attempt++ {
+			v, cerr, mm := c.compileOnce(l, m, fn, mask, key)
+			if mm == nil {
 				return nil
 			}
+			m = mm
+			if cerr == nil {
+				got = v
+				break
+			}
+			if attempt >= c.opts.CompileRetries {
+				c.stats.CompileFailures++
+				c.trace("compile %s: giving up after %d attempts: %v", fn, attempt+1, cerr)
+				break
+			}
+			c.stats.CompileRetries++
+			c.trace("compile %s failed (attempt %d): %v; retrying", fn, attempt+1, cerr)
+			if m = l.WaitCycles(backoff); m == nil {
+				return nil
+			}
+			backoff *= 2
 		}
-		if cerr != nil {
-			panic(fmt.Sprintf("pc3d: compile %s: %v", fn, cerr))
+		if got == nil {
+			continue
 		}
 		c.cache[key] = got
 		if err := c.rt.Dispatch(got); err != nil {
-			panic(fmt.Sprintf("pc3d: dispatch %s: %v", fn, err))
+			c.trace("dispatch %s: %v", fn, err)
 		}
 	}
 	c.mask = cloneMask(mask)
 	return m
+}
+
+// compileOnce requests one variant compile and waits for its callback.
+// Returns a nil machine when the loop is closing.
+func (c *Controller) compileOnce(l *agentloop.Loop, m *machine.Machine, fn string, mask map[int]bool, key string) (*core.Variant, error, *machine.Machine) {
+	var got *core.Variant
+	var cerr error
+	done := false
+	err := c.rt.RequestVariant(fn, core.NTTransform(cloneMask(mask)), key, func(v *core.Variant, err error) {
+		got, cerr, done = v, err, true
+	})
+	if err != nil {
+		return nil, err, m
+	}
+	for !done {
+		if m = l.Wait(); m == nil {
+			return nil, nil, nil
+		}
+	}
+	return got, cerr, m
 }
 
 func (c *Controller) funcSiteIDs(fn string) []int {
@@ -534,7 +609,11 @@ func (c *Controller) funcSiteIDs(fn string) []int {
 }
 
 func (c *Controller) setMaskOriginal() {
-	c.rt.RevertAll()
+	if err := c.rt.RevertAll(); err != nil {
+		// A crashed runtime cannot touch the EVT; the supervisor owns
+		// recovery. Nothing useful to do here but note it.
+		c.trace("revert-all: %v", err)
+	}
 	c.mask = make(map[int]bool)
 }
 

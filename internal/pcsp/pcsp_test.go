@@ -168,7 +168,9 @@ func TestPCSPSameBinaryAsPC3D(t *testing.T) {
 	if !ctrl.Done() {
 		t.Fatal("pass did not finish")
 	}
-	rt.RevertAll()
+	if err := rt.RevertAll(); err != nil {
+		t.Fatalf("revert all: %v", err)
+	}
 	m.RunSeconds(0.3)
 	c0 := p.Counters()
 	m.RunSeconds(0.5)

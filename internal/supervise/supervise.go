@@ -1,0 +1,260 @@
+// Package supervise implements runtime supervision: the recovery half of
+// the paper's safety argument.
+//
+// Protean code's deployment story for warehouse-scale computers leans on a
+// guarantee (Section III-B): the runtime is an *optional* process. If it
+// crashes, the host binary keeps executing — at worst through previously
+// dispatched variants, and after a single atomic EVT write per slot, through
+// its original static code. Nothing about the host's correctness depends on
+// the runtime staying alive.
+//
+// A Supervisor turns that guarantee into a self-healing loop. It owns a
+// runtime/policy session (e.g. core.Runtime + pc3d.Controller), ticks them
+// as one machine agent, and watches for the runtime dying (injected via a
+// faults schedule, or observed via core.Runtime.Crashed). On a crash it:
+//
+//  1. shuts the policy down (safe mid-quantum: agentloop defers the drain
+//     to the quantum boundary),
+//  2. executes the safety guarantee — every EVT slot is pointed back at the
+//     original static entry, without the runtime's help, because the EVT
+//     and the static code both live in the host — and
+//  3. re-attaches a fresh runtime/policy session after a capped
+//     exponential backoff, so a crash-looping runtime cannot consume the
+//     host in restart churn.
+//
+// The host process never stops across any of this.
+package supervise
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Session is one runtime/policy incarnation under supervision.
+type Session struct {
+	// Runtime is the protean runtime; required.
+	Runtime *core.Runtime
+	// Policy is the decision agent driving the runtime (e.g.
+	// *pc3d.Controller); optional.
+	Policy machine.Agent
+	// Close shuts the policy down; optional. It must be safe to call from
+	// inside a machine tick (agentloop.Loop.Close is).
+	Close func()
+}
+
+// Builder constructs a fresh session: it attaches a new runtime to the host
+// and builds the policy around it. Called once at supervisor creation and
+// again at every restart.
+type Builder func() (*Session, error)
+
+// Options tune the supervisor.
+type Options struct {
+	// CrashFn, when non-nil, is the injected crash schedule: consulted once
+	// per quantum with the current cycle, a true return kills the live
+	// runtime (e.g. faults.Chaos.RuntimeCrashFn).
+	CrashFn func(nowCycles uint64) bool
+	// BackoffSeconds is the delay before the first re-attach after a crash
+	// (default 0.05 simulated seconds).
+	BackoffSeconds float64
+	// BackoffMaxSeconds caps the exponential growth (default 1.0).
+	BackoffMaxSeconds float64
+	// BackoffResetSeconds: when a session survives this long, the backoff
+	// resets to BackoffSeconds (default 2.0). Shorter-lived sessions keep
+	// doubling it, so a crash loop converges to one restart per
+	// BackoffMaxSeconds.
+	BackoffResetSeconds float64
+	// Trace, when non-nil, receives supervision events.
+	Trace func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.BackoffSeconds == 0 {
+		o.BackoffSeconds = 0.05
+	}
+	if o.BackoffMaxSeconds == 0 {
+		o.BackoffMaxSeconds = 1.0
+	}
+	if o.BackoffResetSeconds == 0 {
+		o.BackoffResetSeconds = 2.0
+	}
+	return o
+}
+
+// Stats expose supervision activity.
+type Stats struct {
+	// Crashes counts runtime deaths observed (injected or external).
+	Crashes int
+	// Restarts counts successful re-attaches.
+	Restarts int
+	// RestartFailures counts Builder errors (each extends the backoff).
+	RestartFailures int
+	// RevertedSlots counts EVT slots pointed back at static code during
+	// recovery.
+	RevertedSlots int
+}
+
+// Supervisor watches one host's runtime/policy session. It implements
+// machine.Agent; register it with the machine INSTEAD of the runtime and
+// policy — the supervisor ticks both, which is what lets it excise them
+// atomically on a crash.
+type Supervisor struct {
+	m     *machine.Machine
+	host  *machine.Process
+	build Builder
+	opts  Options
+
+	sess         *Session
+	sessionStart uint64
+	retryAt      uint64
+	backoff      uint64 // cycles
+	stats        Stats
+}
+
+// New builds a supervisor and its first session. A Builder error here is
+// fatal (there is nothing to supervise yet).
+func New(m *machine.Machine, host *machine.Process, build Builder, opts Options) (*Supervisor, error) {
+	sess, err := build()
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	s := &Supervisor{
+		m:     m,
+		host:  host,
+		build: build,
+		opts:  opts,
+		sess:  sess,
+	}
+	s.backoff = m.Cycles(opts.BackoffSeconds)
+	return s, nil
+}
+
+// Runtime returns the live session's runtime, or nil while recovering.
+func (s *Supervisor) Runtime() *core.Runtime {
+	if s.sess == nil {
+		return nil
+	}
+	return s.sess.Runtime
+}
+
+// Healthy reports whether a non-crashed session is live.
+func (s *Supervisor) Healthy() bool {
+	return s.sess != nil && !s.sess.Runtime.Crashed()
+}
+
+// Stats returns a snapshot of supervision activity.
+func (s *Supervisor) Stats() Stats { return s.stats }
+
+// Tick implements machine.Agent.
+func (s *Supervisor) Tick(m *machine.Machine) {
+	if s.sess != nil {
+		rt := s.sess.Runtime
+		if s.opts.CrashFn != nil && !rt.Crashed() && s.opts.CrashFn(m.Now()) {
+			rt.Crash()
+		}
+		if !rt.Crashed() {
+			rt.Tick(m)
+			if s.sess.Policy != nil {
+				s.sess.Policy.Tick(m)
+			}
+			return
+		}
+		s.reap(m)
+		return
+	}
+	if m.Now() >= s.retryAt {
+		s.restart(m)
+	}
+}
+
+// Close shuts the current session's policy down (end of run, not a crash).
+func (s *Supervisor) Close() {
+	if s.sess != nil && s.sess.Close != nil {
+		s.sess.Close()
+	}
+}
+
+// reap executes the safety guarantee after a crash: stop the policy, point
+// every EVT slot back at static code, and schedule a re-attach.
+func (s *Supervisor) reap(m *machine.Machine) {
+	s.stats.Crashes++
+	if s.sess.Close != nil {
+		s.sess.Close()
+	}
+	reverted := RevertToStatic(s.host)
+	s.stats.RevertedSlots += reverted
+	// A session that lived long enough proves the crash isn't a loop;
+	// start the next backoff sequence fresh.
+	if m.Now()-s.sessionStart >= m.Cycles(s.opts.BackoffResetSeconds) {
+		s.backoff = m.Cycles(s.opts.BackoffSeconds)
+	}
+	s.sess = nil
+	s.retryAt = m.Now() + s.backoff
+	s.trace("runtime crashed at %.3fs: %d slots reverted, re-attach in %.3fs",
+		m.NowSeconds(), reverted, float64(s.backoff)/m.Config().FreqHz)
+	s.bumpBackoff(m)
+}
+
+func (s *Supervisor) restart(m *machine.Machine) {
+	sess, err := s.build()
+	if err != nil {
+		s.stats.RestartFailures++
+		s.retryAt = m.Now() + s.backoff
+		s.trace("re-attach failed at %.3fs: %v; retry in %.3fs",
+			m.NowSeconds(), err, float64(s.backoff)/m.Config().FreqHz)
+		s.bumpBackoff(m)
+		return
+	}
+	s.sess = sess
+	s.sessionStart = m.Now()
+	s.stats.Restarts++
+	s.trace("runtime re-attached at %.3fs (restart %d)", m.NowSeconds(), s.stats.Restarts)
+}
+
+func (s *Supervisor) bumpBackoff(m *machine.Machine) {
+	s.backoff *= 2
+	if max := m.Cycles(s.opts.BackoffMaxSeconds); s.backoff > max {
+		s.backoff = max
+	}
+}
+
+func (s *Supervisor) trace(format string, args ...any) {
+	if s.opts.Trace != nil {
+		s.opts.Trace(format, args...)
+	}
+}
+
+// RevertToStatic points every EVT slot of host at its original static
+// entry, returning how many slots actually changed. This is the paper's
+// safety guarantee made concrete: it needs no cooperation from the (dead)
+// runtime, because both the EVT and the original code live in the host's
+// address space.
+func RevertToStatic(host *machine.Process) int {
+	evt := host.EVT()
+	prog := host.Binary().Program
+	n := 0
+	for slot := 0; slot < evt.Len(); slot++ {
+		fi, ok := prog.FuncByName(evt.Callee(slot))
+		if !ok {
+			continue
+		}
+		if evt.Target(slot) != fi.Entry {
+			evt.SetTarget(slot, fi.Entry)
+			n++
+		}
+	}
+	return n
+}
+
+// AllStatic reports whether every EVT slot points at original static code.
+func AllStatic(host *machine.Process) bool {
+	evt := host.EVT()
+	prog := host.Binary().Program
+	for slot := 0; slot < evt.Len(); slot++ {
+		fi, ok := prog.FuncByName(evt.Callee(slot))
+		if ok && evt.Target(slot) != fi.Entry {
+			return false
+		}
+	}
+	return true
+}

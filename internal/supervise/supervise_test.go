@@ -1,0 +1,215 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agentloop"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/pcc"
+)
+
+func hostModule(t testing.TB) *ir.Module {
+	t.Helper()
+	mb := ir.NewModuleBuilder("host")
+	mb.Global("buf", 4<<20)
+	hot := mb.Function("hot")
+	hot.Loop(1000, func() {
+		hot.Load(ir.Access{Global: "buf", Pattern: ir.Seq, Stride: 64})
+		hot.Work(2)
+	})
+	hot.Return()
+	main := mb.Function("main")
+	main.Loop(1<<40, func() { main.Call("hot") })
+	main.Return()
+	mb.SetEntry("main")
+	return mb.MustBuild()
+}
+
+func hostProc(t testing.TB) (*machine.Machine, *machine.Process) {
+	t.Helper()
+	bin, err := pcc.Compile(hostModule(t), pcc.Options{Protean: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := machine.New(machine.Config{Cores: 2})
+	host, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	return m, host
+}
+
+// dispatchPolicy compiles an all-hints variant of "hot", dispatches it, and
+// idles. Each incarnation bumps *dispatches when its dispatch lands.
+func dispatchPolicy(t *testing.T, rt *core.Runtime, dispatches *int) *Session {
+	t.Helper()
+	loop := agentloop.New(func(l *agentloop.Loop) {
+		mask := map[int]bool{}
+		for i := 0; i < rt.IR().NumLoads; i++ {
+			mask[i] = true
+		}
+		var v *core.Variant
+		done := false
+		if err := rt.RequestVariant("hot", core.NTTransform(mask), nil, func(vv *core.Variant, err error) {
+			v, done = vv, true
+		}); err != nil {
+			return // crashed before we got started
+		}
+		for !done {
+			if l.Wait() == nil {
+				return
+			}
+		}
+		if v == nil {
+			return
+		}
+		if err := rt.Dispatch(v); err != nil {
+			return
+		}
+		*dispatches++
+		for l.Wait() != nil {
+		}
+	})
+	return &Session{
+		Runtime: rt,
+		Policy:  machine.AgentFunc(func(m *machine.Machine) { loop.Tick(m) }),
+		Close:   loop.Close,
+	}
+}
+
+func TestCrashRevertsAndRestarts(t *testing.T) {
+	m, host := hostProc(t)
+	dispatches := 0
+	build := func() (*Session, error) {
+		rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+		if err != nil {
+			return nil, err
+		}
+		return dispatchPolicy(t, rt, &dispatches), nil
+	}
+	crashAt := m.Cycles(0.05)
+	sup, err := New(m, host, build, Options{
+		CrashFn: func(now uint64) bool { return now == crashAt },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AddAgent(sup)
+
+	// Let the first session dispatch its variant.
+	m.RunSeconds(0.03)
+	if dispatches != 1 {
+		t.Fatalf("dispatches = %d before crash, want 1", dispatches)
+	}
+	if AllStatic(host) {
+		t.Fatal("EVT still static after dispatch")
+	}
+
+	// Cross the crash point. The supervisor must revert the EVT the same
+	// quantum it observes the crash, and the host must keep running.
+	before := host.Counters()
+	m.RunSeconds(0.03) // now at 60 ms, past the 50 ms crash
+	if sup.Stats().Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", sup.Stats().Crashes)
+	}
+	if !AllStatic(host) {
+		t.Fatal("EVT not reverted to static code after crash")
+	}
+	if sup.Stats().RevertedSlots == 0 {
+		t.Error("RevertedSlots = 0, want > 0")
+	}
+	if host.Counters().Sub(before).Insts == 0 {
+		t.Error("host stalled across runtime crash")
+	}
+	if sup.Healthy() {
+		t.Error("Healthy() true while recovering")
+	}
+
+	// The re-attach lands within the (first) backoff of 50 ms, and the new
+	// session resumes optimizing: a second dispatch appears.
+	m.RunSeconds(0.1)
+	if sup.Stats().Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", sup.Stats().Restarts)
+	}
+	if !sup.Healthy() {
+		t.Fatal("supervisor not healthy after restart")
+	}
+	m.RunSeconds(0.05)
+	if dispatches != 2 {
+		t.Errorf("dispatches = %d after restart, want 2", dispatches)
+	}
+	sup.Close()
+}
+
+func TestCrashLoopBacksOff(t *testing.T) {
+	m, host := hostProc(t)
+	build := func() (*Session, error) {
+		rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+		if err != nil {
+			return nil, err
+		}
+		return &Session{Runtime: rt}, nil
+	}
+	// Every session dies on its first tick: a pathological crash loop.
+	sup, err := New(m, host, build, Options{
+		CrashFn: func(uint64) bool { return true },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AddAgent(sup)
+	before := host.Counters()
+	m.RunSeconds(10)
+	st := sup.Stats()
+	// Backoff doubles 50ms -> 1s cap: ~13 restarts in 10s, not thousands.
+	if st.Restarts < 5 || st.Restarts > 25 {
+		t.Errorf("Restarts = %d over 10s crash loop, want backoff-bounded (5..25)", st.Restarts)
+	}
+	if st.Crashes < st.Restarts {
+		t.Errorf("Crashes = %d < Restarts = %d", st.Crashes, st.Restarts)
+	}
+	if !AllStatic(host) {
+		t.Error("EVT not static during crash loop")
+	}
+	if host.Counters().Sub(before).Insts == 0 {
+		t.Error("host starved by crash loop")
+	}
+}
+
+func TestBuilderFailureExtendsBackoff(t *testing.T) {
+	m, host := hostProc(t)
+	calls := 0
+	build := func() (*Session, error) {
+		calls++
+		if calls == 2 {
+			return nil, errors.New("attach refused")
+		}
+		rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+		if err != nil {
+			return nil, err
+		}
+		return &Session{Runtime: rt}, nil
+	}
+	crashAt := m.Cycles(0.01)
+	sup, err := New(m, host, build, Options{
+		CrashFn: func(now uint64) bool { return now == crashAt },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AddAgent(sup)
+	m.RunSeconds(1)
+	st := sup.Stats()
+	if st.RestartFailures != 1 {
+		t.Errorf("RestartFailures = %d, want 1", st.RestartFailures)
+	}
+	if st.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1 (second attempt succeeds)", st.Restarts)
+	}
+	if !sup.Healthy() {
+		t.Error("supervisor not healthy after eventual restart")
+	}
+}
