@@ -303,8 +303,10 @@ func ablationSearch(b *testing.B, noBounds bool) int {
 		solo, _ := flux.SoloIPS()
 		return phase.Signature{Rate: solo}
 	}
-	ctrl := pc3d.New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ep}, extSig,
-		pc3d.Options{Target: 0.95, MaxSites: 6, NoBoundsReuse: noBounds})
+	ctrl := pc3d.New(pc3d.Config{
+		Runtime: rt, Steady: flux, Window: &qos.FluxWindow{Flux: flux, Ext: ep}, ExtSig: extSig,
+		Target: 0.95, MaxSites: 6, NoBoundsReuse: noBounds,
+	})
 	defer ctrl.Close()
 	m.AddAgent(ctrl)
 	m.RunSeconds(8)

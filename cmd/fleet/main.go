@@ -9,11 +9,13 @@
 //	fleet -servers 64 -mix WL1 -webservice web-search -policy least-loaded
 //	fleet -servers 16 -mix WL2 -system reqos -diurnal 20 -load-low 0.3 -load-high 0.9
 //	fleet -servers 8 -chaos -crash-rate 0.3 -runtime-mttf 5 -qos-dropout 0.2
+//	fleet -servers 8 -metrics metrics.prom -trace trace.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -51,6 +53,9 @@ func main() {
 		runtimeMTTF = flag.Float64("runtime-mttf", 0, "protean runtime mean time to failure, seconds (0 = never)")
 		qosDropout  = flag.Float64("qos-dropout", 0, "probability each QoS sensor window goes dark")
 		dropoutSecs = flag.Float64("dropout-seconds", 0.2, "QoS sensor dropout window length, seconds")
+
+		metricsPath = flag.String("metrics", "", "write the cluster telemetry rollup in Prometheus text format to this file (- = stdout)")
+		tracePath   = flag.String("trace", "", "write the merged event trace as JSONL to this file (- = stdout)")
 	)
 	flag.Parse()
 
@@ -149,6 +154,34 @@ func main() {
 		}
 	}
 	fmt.Printf("\n[%d servers simulated in %.1fs]\n", m.Servers, time.Since(start).Seconds())
+
+	tel := f.Telemetry()
+	if *metricsPath != "" {
+		if err := writeExport(*metricsPath, tel.WritePrometheus); err != nil {
+			failErr(err)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeExport(*tracePath, tel.WriteJSONL); err != nil {
+			failErr(err)
+		}
+	}
+}
+
+// writeExport writes a telemetry export to path, with "-" meaning stdout.
+func writeExport(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(format string, args ...any) {

@@ -5,19 +5,22 @@
 // Usage:
 //
 //	pcc -app libquantum -o lq.pcb
-//	pcrun lq.pcb -seconds 2
-//	pcrun lq.pcb -seconds 2 -stress 50ms   # with a recompilation stress runtime
+//	pcrun -seconds 2 lq.pcb
+//	pcrun -seconds 2 -stress 50ms lq.pcb   # with a recompilation stress runtime
+//	pcrun -stress 50ms -metrics - -trace events.jsonl lq.pcb
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/progbin"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,7 +28,10 @@ func main() {
 		seconds = flag.Float64("seconds", 1.0, "simulated run duration")
 		stress  = flag.Duration("stress", 0, "attach a protean runtime recompiling random functions at this interval (0 = off)")
 		sameCPU = flag.Bool("same-core", false, "run the stress runtime on the host's core")
-		trace   = flag.Int("trace", 0, "dump the last N executed instructions at exit")
+		itrace  = flag.Int("itrace", 0, "dump the last N executed instructions at exit")
+
+		metricsPath = flag.String("metrics", "", "write run telemetry in Prometheus text format to this file (- = stdout)")
+		tracePath   = flag.String("trace", "", "write the telemetry event trace as JSONL to this file (- = stdout)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pcrun [flags] <binary.pcb>\n")
@@ -49,8 +55,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	m := machine.New(machine.Config{Cores: 2})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, TraceDepth: *trace})
+	var reg *telemetry.Registry
+	if *metricsPath != "" || *tracePath != "" {
+		reg = telemetry.New(telemetry.Config{})
+	}
+	m := machine.New(machine.Config{Cores: 2, Telemetry: reg})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, TraceDepth: *itrace})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
 		os.Exit(1)
@@ -62,7 +72,7 @@ func main() {
 		if *sameCPU {
 			runtimeCore = core.SameCore
 		}
-		rt, err = core.Attach(m, p, core.Options{RuntimeCore: runtimeCore})
+		rt, err = core.New(core.Config{Machine: m, Host: p, RuntimeCore: runtimeCore, Telemetry: reg})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcrun: %v (compile with pcc without -plain for a protean binary)\n", err)
 			os.Exit(1)
@@ -90,8 +100,8 @@ func main() {
 		fmt.Printf("  recompiles:    %12d  (runtime used %.2f%% of server cycles, %d code-cache words)\n",
 			rt.Compiles(), rt.ServerCycleFraction()*100, rt.CodeCacheWords())
 	}
-	if *trace > 0 {
-		fmt.Printf("last %d executed instructions:\n", *trace)
+	if *itrace > 0 {
+		fmt.Printf("last %d executed instructions:\n", *itrace)
 		for _, e := range p.Trace() {
 			fn := ""
 			if fi, ok := p.FuncAt(e.PC); ok {
@@ -103,6 +113,35 @@ func main() {
 			fmt.Printf("  cycle %12d  pc %6d  %s\n", e.Cycle, e.PC, fn)
 		}
 	}
+
+	if *metricsPath != "" {
+		if err := writeExport(*metricsPath, reg.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeExport(*tracePath, reg.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeExport writes a telemetry export to path, with "-" meaning stdout.
+func writeExport(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func max64(a, b uint64) uint64 {

@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+	rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

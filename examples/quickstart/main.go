@@ -64,7 +64,7 @@ func main() {
 	//    variant of "hot" with every load carrying a non-temporal hint.
 	//    The compile is asynchronous: the program keeps running while the
 	//    runtime compiler works.
-	rt, err := core.Attach(m, proc, core.Options{RuntimeCore: 1})
+	rt, err := core.New(core.Config{Machine: m, Host: proc, RuntimeCore: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/sampling"
+	"repro/internal/telemetry"
 )
 
 // ErrNotProtean is returned when attaching to a process whose binary was
@@ -45,8 +46,13 @@ var ErrCrashed = errors.New("core: runtime has crashed")
 // SameCore designates that the runtime shares the host's core.
 const SameCore = -1
 
-// Options configure a runtime instance.
-type Options struct {
+// Config configures a runtime instance (consumed by New, mirroring the
+// machine and fleet constructor surfaces).
+type Config struct {
+	// Machine is the simulated machine hosting the process.
+	Machine *machine.Machine
+	// Host is the protean-compiled process to attach to.
+	Host *machine.Process
 	// RuntimeCore is the core the runtime process occupies, or SameCore to
 	// share the host's core (compiles then steal host cycles). Using a
 	// separate core requires it to be otherwise idle.
@@ -67,20 +73,29 @@ type Options struct {
 	// are independent of completion interleaving. Used for deterministic
 	// fault injection (package faults).
 	CompileFault func(fn string, job uint64) error
+	// Telemetry receives the runtime's counters (compiles, failures,
+	// dispatches, reverts, cycles) and compile/dispatch trace events under
+	// the "core" subsystem. Nil disables instrumentation at no cost.
+	Telemetry *telemetry.Registry
 }
 
-func (o Options) withDefaults(m *machine.Machine) Options {
-	ms := uint64(m.Config().FreqHz / 1000)
-	if o.CompileCycles == 0 {
-		o.CompileCycles = 4 * ms
+// Options is the deprecated name for Config.
+//
+// Deprecated: use Config with New. Kept one release for compatibility.
+type Options = Config
+
+func (cfg Config) withDefaults() Config {
+	ms := uint64(cfg.Machine.Config().FreqHz / 1000)
+	if cfg.CompileCycles == 0 {
+		cfg.CompileCycles = 4 * ms
 	}
-	if o.SampleInterval == 0 {
-		o.SampleInterval = ms
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = ms
 	}
-	if o.MonitorCyclesPerTick == 0 {
-		o.MonitorCyclesPerTick = 30
+	if cfg.MonitorCyclesPerTick == 0 {
+		cfg.MonitorCyclesPerTick = 30
 	}
-	return o
+	return cfg
 }
 
 // Transform rewrites the cloned embedded IR before a variant is lowered.
@@ -117,7 +132,7 @@ type compileJob struct {
 type Runtime struct {
 	m    *machine.Machine
 	host *machine.Process
-	opts Options
+	cfg  Config
 
 	baseIR  *ir.Module
 	sampler *sampling.PCSampler
@@ -136,12 +151,26 @@ type Runtime struct {
 	compiles      uint64
 	dispatches    uint64
 	lastSample    uint64
+
+	tel             *telemetry.Registry
+	cCompiles       *telemetry.Counter
+	cCompileFails   *telemetry.Counter
+	cDispatches     *telemetry.Counter
+	cReverts        *telemetry.Counter
+	cCompileCycles  *telemetry.Counter
+	cMonitorCycles  *telemetry.Counter
+	gCodeCacheWords *telemetry.Gauge
+	gVariants       *telemetry.Gauge
 }
 
-// Attach creates a runtime for host: it discovers the program metadata
-// (decoding the embedded IR) and prepares the code cache bookkeeping —
-// the runtime-initialization step of Section III-B-1.
-func Attach(m *machine.Machine, host *machine.Process, opts Options) (*Runtime, error) {
+// New creates a runtime for cfg.Host on cfg.Machine: it discovers the
+// program metadata (decoding the embedded IR) and prepares the code cache
+// bookkeeping — the runtime-initialization step of Section III-B-1.
+func New(cfg Config) (*Runtime, error) {
+	m, host := cfg.Machine, cfg.Host
+	if m == nil || host == nil {
+		return nil, errors.New("core: Config.Machine and Config.Host are required")
+	}
 	if !host.Binary().Protean {
 		return nil, ErrNotProtean
 	}
@@ -149,18 +178,38 @@ func Attach(m *machine.Machine, host *machine.Process, opts Options) (*Runtime, 
 	if err != nil {
 		return nil, fmt.Errorf("core: attach to %q: %w", host.Name(), err)
 	}
-	opts = opts.withDefaults(m)
+	cfg = cfg.withDefaults()
 	rt := &Runtime{
 		m:          m,
 		host:       host,
-		opts:       opts,
+		cfg:        cfg,
 		baseIR:     baseIR,
-		sampler:    sampling.NewPCSampler(host, opts.SampleInterval),
+		sampler:    sampling.NewPCSampler(host, cfg.SampleInterval),
 		variants:   make(map[string][]*Variant),
 		dispatched: make(map[string]*Variant),
 		nextID:     1,
 	}
+	rt.tel = cfg.Telemetry
+	rt.cCompiles = rt.tel.Counter("core", "compiles_total", "compile jobs completed successfully")
+	rt.cCompileFails = rt.tel.Counter("core", "compile_failures_total", "compile jobs that failed (fault, transform, lower, verify)")
+	rt.cDispatches = rt.tel.Counter("core", "dispatches_total", "EVT slot rewrites to a variant")
+	rt.cReverts = rt.tel.Counter("core", "reverts_total", "EVT slot rewrites back to static code")
+	rt.cCompileCycles = rt.tel.Counter("core", "compile_cycles_total", "simulated cycles consumed by the runtime compiler")
+	rt.cMonitorCycles = rt.tel.Counter("core", "monitor_cycles_total", "simulated cycles consumed by monitoring")
+	rt.gCodeCacheWords = rt.tel.Gauge("core", "code_cache_words", "instruction words of installed variants")
+	rt.gVariants = rt.tel.Gauge("core", "variants", "generated variants across all functions")
 	return rt, nil
+}
+
+// Attach creates a runtime for host.
+//
+// Deprecated: use New(Config{Machine: m, Host: host, ...}). Kept one
+// release for compatibility.
+func Attach(m *machine.Machine, host *machine.Process, opts Options) (*Runtime, error) {
+	cfg := opts
+	cfg.Machine = m
+	cfg.Host = host
+	return New(cfg)
 }
 
 // Host returns the attached process.
@@ -173,6 +222,10 @@ func (rt *Runtime) IR() *ir.Module { return rt.baseIR }
 // Sampler exposes the host PC sampler for policies.
 func (rt *Runtime) Sampler() *sampling.PCSampler { return rt.sampler }
 
+// Telemetry returns the registry this runtime reports into (nil when
+// uninstrumented).
+func (rt *Runtime) Telemetry() *telemetry.Registry { return rt.tel }
+
 // Tick advances the runtime one quantum: takes PC samples, accounts
 // monitoring cost, and completes finished compile jobs. A crashed runtime
 // does nothing.
@@ -182,14 +235,24 @@ func (rt *Runtime) Tick(m *machine.Machine) {
 	}
 	rt.sampler.Tick(m)
 	now := m.Now()
-	if now-rt.lastSample >= rt.opts.SampleInterval {
-		rt.monitorCycles += rt.opts.MonitorCyclesPerTick
+	if now-rt.lastSample >= rt.cfg.SampleInterval {
+		rt.monitorCycles += rt.cfg.MonitorCyclesPerTick
+		rt.cMonitorCycles.Add(rt.cfg.MonitorCyclesPerTick)
 		rt.lastSample = now
 	}
 	for len(rt.jobs) > 0 && rt.jobs[0].finishAt <= now {
 		job := rt.jobs[0]
 		rt.jobs = rt.jobs[1:]
 		v, err := rt.finishJob(job)
+		if err != nil {
+			rt.cCompileFails.Inc()
+			rt.tel.Emit(telemetry.Event{At: now, Kind: telemetry.EvCompileFail, Func: job.fn, Value: float64(job.seq), Detail: err.Error()})
+		} else {
+			rt.cCompiles.Inc()
+			rt.gCodeCacheWords.Set(float64(rt.CodeCacheWords()))
+			rt.gVariants.Add(1)
+			rt.tel.Emit(telemetry.Event{At: now, Kind: telemetry.EvCompileFinish, Func: job.fn, Value: float64(v.ID)})
+		}
 		if job.onDone != nil {
 			job.onDone(v, err)
 		}
@@ -216,15 +279,17 @@ func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDo
 	if rt.busyUntil > start {
 		start = rt.busyUntil
 	}
-	finish := start + rt.opts.CompileCycles
+	finish := start + rt.cfg.CompileCycles
 	rt.busyUntil = finish
-	rt.compileCycles += rt.opts.CompileCycles
+	rt.compileCycles += rt.cfg.CompileCycles
+	rt.cCompileCycles.Add(rt.cfg.CompileCycles)
 	rt.compiles++
-	if rt.opts.RuntimeCore == SameCore {
-		rt.host.StealCycles(rt.opts.CompileCycles)
+	if rt.cfg.RuntimeCore == SameCore {
+		rt.host.StealCycles(rt.cfg.CompileCycles)
 	}
 	seq := rt.jobSeq
 	rt.jobSeq++
+	rt.tel.Emit(telemetry.Event{At: now, Kind: telemetry.EvCompileStart, Func: fn, Value: float64(seq)})
 	rt.jobs = append(rt.jobs, compileJob{
 		fn: fn, transform: transform, meta: meta, onDone: onDone, finishAt: finish, seq: seq,
 	})
@@ -234,8 +299,8 @@ func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDo
 // finishJob does the actual work "after" the modeled compile latency:
 // clone the IR, transform, lower against the host program, install.
 func (rt *Runtime) finishJob(job compileJob) (*Variant, error) {
-	if rt.opts.CompileFault != nil {
-		if err := rt.opts.CompileFault(job.fn, job.seq); err != nil {
+	if rt.cfg.CompileFault != nil {
+		if err := rt.cfg.CompileFault(job.fn, job.seq); err != nil {
 			return nil, fmt.Errorf("core: compile %q: %w", job.fn, err)
 		}
 	}
@@ -276,6 +341,8 @@ func (rt *Runtime) Dispatch(v *Variant) error {
 	rt.host.EVT().SetTarget(slot, v.EntryPC)
 	rt.dispatched[v.Func] = v
 	rt.dispatches++
+	rt.cDispatches.Inc()
+	rt.tel.Emit(telemetry.Event{At: rt.m.Now(), Kind: telemetry.EvDispatch, Func: v.Func, Value: float64(v.ID)})
 	return nil
 }
 
@@ -295,6 +362,8 @@ func (rt *Runtime) Revert(fn string) error {
 	rt.host.EVT().SetTarget(slot, fi.Entry)
 	delete(rt.dispatched, fn)
 	rt.dispatches++
+	rt.cReverts.Inc()
+	rt.tel.Emit(telemetry.Event{At: rt.m.Now(), Kind: telemetry.EvRevert, Func: fn})
 	return nil
 }
 
@@ -328,6 +397,8 @@ func (rt *Runtime) RevertAll() error {
 func (rt *Runtime) Crash() {
 	rt.crashed = true
 	rt.jobs = nil
+	rt.tel.Counter("core", "runtime_crashes_total", "runtime processes killed by fault injection").Inc()
+	rt.tel.Emit(telemetry.Event{At: rt.m.Now(), Kind: telemetry.EvRuntimeCrash})
 }
 
 // Crashed reports whether Crash has been called.

@@ -56,6 +56,37 @@ func TestChaosDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestTelemetrySnapshotDeterministicAcrossWorkerCounts is the telemetry
+// plane's determinism contract: the Prometheus text snapshot and the
+// merged JSONL event trace must be byte-identical between a serial run
+// and an 8-worker run of the same seeded chaos fleet. Events carry only
+// simulated-time stamps and merge in server-index order, so goroutine
+// interleaving must be invisible in the export.
+func TestTelemetrySnapshotDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) (string, string) {
+		f, err := New(chaosConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+		tel := f.Telemetry()
+		return tel.PrometheusText(), tel.JSONL()
+	}
+	prom1, trace1 := run(1)
+	prom8, trace8 := run(8)
+	if prom1 != prom8 {
+		t.Errorf("Prometheus snapshots diverge across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", prom1, prom8)
+	}
+	if trace1 != trace8 {
+		t.Errorf("JSONL traces diverge across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", trace1, trace8)
+	}
+	if trace1 == "" {
+		t.Error("chaos run produced an empty event trace")
+	}
+}
+
 func TestChaosMetricsSanity(t *testing.T) {
 	f, err := New(chaosConfig(3))
 	if err != nil {

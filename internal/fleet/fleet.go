@@ -34,6 +34,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/reqos"
 	"repro/internal/supervise"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -126,6 +127,15 @@ type Config struct {
 	// nothing. Chaos.Seed defaults to Seed, so one seed pins placement and
 	// failures together.
 	Chaos *faults.Chaos
+	// Telemetry, when non-nil, receives the cluster rollup: every server
+	// simulates with its own single-writer registry (machine, core, pc3d
+	// and supervise all report into it), and after the workers join the
+	// per-server registries merge into this one in server-index order —
+	// so the Prometheus export and JSONL trace are bit-identical at any
+	// worker count under a fixed seed. Nil still instruments internally
+	// (Metrics' chaos counters are read from the rollup); the registry is
+	// then only reachable via Fleet.Telemetry.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -205,14 +215,11 @@ type ServerResult struct {
 	Availability float64
 	// Absorbed counts re-placed batch instances this server picked up.
 	Absorbed int
-	// RuntimeCrashes / RuntimeRestarts count protean-runtime deaths and
-	// supervised re-attaches.
-	RuntimeCrashes  int
-	RuntimeRestarts int
-	// CompileFailures counts compile jobs abandoned after retries;
-	// SensorDropouts counts QoS readings the policy discarded.
-	CompileFailures int
-	SensorDropouts  int
+	// Faulted reports a surviving server that was fault-affected: it
+	// absorbed a re-placement, lost a runtime, dropped compiles, or lost
+	// sensor windows. Per-event counts live on the telemetry rollup
+	// (Fleet.Telemetry) rather than being duplicated here.
+	Faulted bool
 }
 
 // Dist summarizes a cluster-wide value distribution.
@@ -315,6 +322,12 @@ type Fleet struct {
 	placement []int
 	slots     []ServerSlot
 	instances []Instance
+	// tel is the cluster telemetry rollup (cfg.Telemetry, or an internal
+	// registry); serverTel holds the per-server registries until they merge
+	// in index order after the workers join. Kept off Metrics so metric
+	// snapshots stay plain comparable data.
+	tel       *telemetry.Registry
+	serverTel []*telemetry.Registry
 }
 
 // New validates the configuration and builds a fleet.
@@ -328,6 +341,12 @@ func New(cfg Config) (*Fleet, error) {
 
 // Config returns the effective configuration.
 func (f *Fleet) Config() Config { return f.cfg }
+
+// Telemetry returns the cluster telemetry rollup (valid after Run): the
+// per-server registries merged in server-index order, plus the fleet-level
+// aggregates. Its Prometheus export and JSONL trace are bit-identical at
+// any worker count under a fixed seed.
+func (f *Fleet) Telemetry() *telemetry.Registry { return f.tel }
 
 // Placement returns instance → server index (valid after Run).
 func (f *Fleet) Placement() []int { return f.placement }
@@ -421,6 +440,12 @@ func (f *Fleet) Run() (Metrics, error) {
 	// fixed before any server simulates, keeping them independent of
 	// worker interleaving.
 	plan := f.buildChaosPlan(assignment)
+	f.tel = f.cfg.Telemetry
+	if f.tel == nil {
+		f.tel = telemetry.New(telemetry.Config{})
+	}
+	// One single-writer registry per server; workers write disjoint slots.
+	f.serverTel = make([]*telemetry.Registry, f.cfg.Servers)
 	results := make([]ServerResult, f.cfg.Servers)
 	err := f.forEach(f.cfg.Servers, func(i int) error {
 		res, err := f.runServer(i, assignment[i], plan.plans[i])
@@ -432,6 +457,11 @@ func (f *Fleet) Run() (Metrics, error) {
 	})
 	if err != nil {
 		return Metrics{}, err
+	}
+	// Merge in server-index order: the rollup's sums, histogram buckets and
+	// trace are then independent of worker interleaving.
+	for i, sr := range f.serverTel {
+		f.tel.MergeFrom(sr, i)
 	}
 	return f.aggregate(results, plan), nil
 }
@@ -565,7 +595,9 @@ func (f *Fleet) place(apps []string) error {
 // further progress).
 func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, error) {
 	cfg := f.cfg
-	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx)})
+	reg := telemetry.New(telemetry.Config{})
+	f.serverTel[idx] = reg
+	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx), Telemetry: reg})
 	freq := m.Config().FreqHz
 
 	wsOpts := machine.ProcessOptions{Restart: true}
@@ -597,7 +629,6 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 	var host *machine.Process
 	var hostApp string
 	var sup *supervise.Supervisor
-	var ctrls []*pc3d.Controller
 	defer func() {
 		if sup != nil {
 			sup.Close()
@@ -646,15 +677,20 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 				win = &faults.FlakyWindow{Win: win, Drop: dropFn, NaN: dropNaN}
 			}
 			build := func() (*supervise.Session, error) {
-				rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2, CompileFault: compileFault})
+				rt, err := core.New(core.Config{
+					Machine: m, Host: host, RuntimeCore: 2,
+					CompileFault: compileFault, Telemetry: reg,
+				})
 				if err != nil {
 					return nil, err
 				}
-				ctrl := pc3d.New(rt, src, win, extSig, pc3d.Options{Target: cfg.Target, MaxSites: cfg.MaxSites})
-				ctrls = append(ctrls, ctrl)
+				ctrl := pc3d.New(pc3d.Config{
+					Runtime: rt, Steady: src, Window: win, ExtSig: extSig,
+					Target: cfg.Target, MaxSites: cfg.MaxSites, Telemetry: reg,
+				})
 				return &supervise.Session{Runtime: rt, Policy: ctrl, Close: ctrl.Close}, nil
 			}
-			s, err := supervise.New(m, host, build, supervise.Options{CrashFn: rtCrashFn})
+			s, err := supervise.New(m, host, build, supervise.Config{CrashFn: rtCrashFn, Telemetry: reg})
 			if err != nil {
 				return err
 			}
@@ -717,6 +753,8 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 			}
 			res.App = ar.App
 			res.Absorbed++
+			reg.Counter("fleet", "replacements_absorbed_total", "re-placed batch instances absorbed after another server's crash").Inc()
+			reg.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvReplacement, Func: ar.App})
 		}
 	}
 	if !snapped && stop > cfg.SettleSeconds {
@@ -751,16 +789,17 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 	} else {
 		res.QoS, res.Load = 0, 0
 	}
-	if sup != nil {
-		sst := sup.Stats()
-		res.RuntimeCrashes = sst.Crashes
-		res.RuntimeRestarts = sst.Restarts
+	if res.Crashed {
+		reg.Counter("fleet", "server_crashes_total", "whole-server failures").Inc()
+		reg.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvServerCrash})
 	}
-	for _, c := range ctrls {
-		st := c.Stats()
-		res.CompileFailures += st.CompileFailures
-		res.SensorDropouts += st.SensorDropouts
-	}
+	reg.Gauge("fleet", "availability_sum", "sum of per-server up fractions (divide by server count for the mean)").Set(res.Availability)
+	// A surviving server is fault-affected when any failure touched it; the
+	// per-event counts live on the registry.
+	res.Faulted = !res.Crashed && (res.Absorbed > 0 ||
+		reg.CounterValue("supervise", "reaps_total") > 0 ||
+		reg.CounterValue("pc3d", "compile_failures_total") > 0 ||
+		reg.CounterValue("pc3d", "sensor_dropouts_total") > 0)
 	return res, nil
 }
 
@@ -779,21 +818,26 @@ func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 		Replacements:      plan.replacements,
 		UnplacedInstances: plan.unplaced,
 	}
+	// The per-server registries merged before aggregation; fleet-wide chaos
+	// counters are read off the rollup rather than re-summed from results.
+	mt.RuntimeCrashes = int(f.tel.CounterValue("supervise", "reaps_total"))
+	mt.RuntimeRestarts = int(f.tel.CounterValue("supervise", "restarts_total"))
+	mt.CompileFailures = int(f.tel.CounterValue("pc3d", "compile_failures_total"))
+	mt.SensorDropouts = int(f.tel.CounterValue("pc3d", "sensor_dropouts_total"))
 	var utils, qs, degQ, degU []float64
 	availSum := 0.0
 	perAppN := make(map[string]int)
 	fleetPower, ncPower := 0.0, 0.0
+	hQoS := f.tel.Histogram("fleet", "server_qos", "per-server webservice QoS", []float64{0.5, 0.8, 0.9, 0.95, 0.99, 1})
+	hUtil := f.tel.Histogram("fleet", "server_utilization", "per-server batch utilization", []float64{0.25, 0.5, 0.75, 0.9, 1})
 	for _, r := range results {
 		qs = append(qs, r.QoS)
+		hQoS.Observe(r.QoS)
 		if r.QoS < cfg.Target {
 			mt.QoSViolations++
 		}
 		availSum += r.Availability
-		mt.RuntimeCrashes += r.RuntimeCrashes
-		mt.RuntimeRestarts += r.RuntimeRestarts
-		mt.CompileFailures += r.CompileFailures
-		mt.SensorDropouts += r.SensorDropouts
-		if !r.Crashed && (r.Absorbed > 0 || r.RuntimeCrashes > 0 || r.CompileFailures > 0 || r.SensorDropouts > 0) {
+		if r.Faulted {
 			degQ = append(degQ, r.QoS)
 			if r.App != "" {
 				degU = append(degU, r.Utilization)
@@ -803,6 +847,7 @@ func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 		u := 0.0
 		if r.App != "" {
 			utils = append(utils, r.Utilization)
+			hUtil.Observe(r.Utilization)
 			mt.PerApp[r.App] += r.Utilization
 			perAppN[r.App]++
 			u = math.Min(r.Utilization, 1)
@@ -825,5 +870,15 @@ func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 	if fleetPower > 0 {
 		mt.EnergyEfficiencyRatio = ncPower / fleetPower
 	}
+	// Fleet-level aggregates join the rollup so one export carries the
+	// whole picture (the plan's scheduler-side counts have no per-server
+	// registry to live on).
+	f.tel.Counter("fleet", "scheduled_crashes_total", "whole-server failures in the chaos plan").Add(uint64(plan.crashes))
+	f.tel.Counter("fleet", "replacements_total", "batch instances the scheduler re-placed on survivors").Add(uint64(plan.replacements))
+	f.tel.Counter("fleet", "unplaced_instances_total", "crash victims the scheduler could not re-place in time").Add(uint64(plan.unplaced))
+	f.tel.Counter("fleet", "qos_violation_servers_total", "servers measuring below the QoS target").Add(uint64(mt.QoSViolations))
+	f.tel.Gauge("fleet", "availability", "mean fraction of the measurement window servers were up").Set(mt.Availability)
+	f.tel.Gauge("fleet", "batch_units", "total batch throughput in dedicated-server units").Set(mt.BatchUnits)
+	f.tel.Gauge("fleet", "energy_efficiency_ratio", "measured work-per-Watt over the no-co-location equivalent").Set(mt.EnergyEfficiencyRatio)
 	return mt
 }

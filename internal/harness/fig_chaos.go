@@ -69,12 +69,17 @@ func (r *Runner) FigureChaos() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Chaos columns come from the fleet's telemetry rollup rather than
+		// hand-aggregated result fields.
+		tel := f.Telemetry()
 		t.AddRow(fmt.Sprintf("%.2f", rate),
 			fmt.Sprintf("%.3f", m.Availability),
 			fmt.Sprintf("%.2f", m.BatchUnits),
 			fmt.Sprintf("%.3f", m.QoS.Mean), fmt.Sprintf("%.3f", m.DegradedQoS.Mean),
 			fmt.Sprintf("%d/%d", m.QoSViolations, m.Servers),
-			m.Crashes, m.Replacements, m.RuntimeRestarts, m.SensorDropouts)
+			m.Crashes, m.Replacements,
+			tel.CounterValue("supervise", "restarts_total"),
+			tel.CounterValue("pc3d", "sensor_dropouts_total"))
 	}
 	t.Notes = append(t.Notes,
 		"rate = server-crash probability; compile-fail and sensor-dropout run at rate/2, runtime MTTF at 3s/rate",

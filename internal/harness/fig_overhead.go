@@ -20,7 +20,7 @@ func (r *Runner) runAlone(bin *progbin.Binary, dbtCfg *machine.DBTConfig, stress
 		return 0, err
 	}
 	if stressInterval > 0 {
-		rt, err := core.Attach(m, p, core.Options{RuntimeCore: runtimeCore})
+		rt, err := core.New(core.Config{Machine: m, Host: p, RuntimeCore: runtimeCore})
 		if err != nil {
 			return 0, err
 		}

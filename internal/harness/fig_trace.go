@@ -11,6 +11,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/reqos"
 	"repro/internal/sampling"
+	"repro/internal/telemetry"
 )
 
 // traceSample is one point of the Figure 16 time series.
@@ -25,43 +26,47 @@ type traceSample struct {
 
 // runTrace executes the Figure 16 experiment for one system: libquantum
 // (host) co-located with web-search under the fluctuating load trace,
-// sampled at regular intervals.
-func (r *Runner) runTrace(system System, samples int) ([]traceSample, error) {
+// sampled at regular intervals. The returned registry holds the run's
+// counters and event trace (figtimeline renders the latter).
+func (r *Runner) runTrace(system System, samples int) ([]traceSample, *telemetry.Registry, error) {
 	const hostName, wsName = "libquantum", "web-search"
 	hostSolo, err := r.Solo(hostName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Measure the webservice's solo peak capacity (requests/second).
 	wsBin, err := r.binary(wsName, false)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cm := machine.New(machine.Config{Cores: 4})
 	cp, err := cm.Attach(0, wsBin, machine.ProcessOptions{Gated: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	capacity := loadgen.MeasureCapacity(cm, cp, int(2*cm.Config().FreqHz/float64(cm.Config().QuantumCycles)))
 
-	// The measured experiment.
-	m := machine.New(machine.Config{Cores: 4})
+	// The measured experiment. The registry supplies the runtime-cycle
+	// series (and, for figtimeline, the event trace) without hand-carried
+	// accumulators.
+	reg := telemetry.New(telemetry.Config{})
+	m := machine.New(machine.Config{Cores: 4, Telemetry: reg})
 	wsBin2, err := r.binary(wsName, false)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ws, err := m.Attach(0, wsBin2, machine.ProcessOptions{Gated: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hb, err := r.binary(hostName, system == SystemPC3D)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	gen := loadgen.NewGenerator(ws, loadgen.Figure16(r.sc.TraceSeconds), capacity)
@@ -72,29 +77,38 @@ func (r *Runner) runTrace(system System, samples int) ([]traceSample, error) {
 	var rt *core.Runtime
 	switch system {
 	case SystemPC3D:
-		rt, err = core.Attach(m, host, core.Options{RuntimeCore: 2})
+		rt, err = core.New(core.Config{Machine: m, Host: host, RuntimeCore: 2, Telemetry: reg})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m.AddAgent(rt)
 		extSig := func(mm *machine.Machine) phase.Signature {
 			return phase.Signature{Rate: gen.CurrentLoad(mm)}
 		}
-		ctrl := pc3d.New(rt, tq, &qos.ThroughputWindow{Proc: ws, Gen: gen}, extSig,
-			pc3d.Options{Target: 0.95, MaxSites: r.sc.MaxSites})
+		ctrl := pc3d.New(pc3d.Config{
+			Runtime: rt, Steady: tq, Window: &qos.ThroughputWindow{Proc: ws, Gen: gen}, ExtSig: extSig,
+			Target: 0.95, MaxSites: r.sc.MaxSites, Telemetry: reg,
+		})
 		defer ctrl.Close()
 		m.AddAgent(ctrl)
 	case SystemReQoS:
 		m.AddAgent(reqos.New(host, tq, reqos.Options{Target: 0.95}))
 	default:
-		return nil, fmt.Errorf("harness: trace experiment supports PC3D and ReQoS, not %v", system)
+		return nil, nil, fmt.Errorf("harness: trace experiment supports PC3D and ReQoS, not %v", system)
 	}
 
+	// rtCycles reads the runtime's cumulative cycle spend from the
+	// telemetry registry; the per-sample delta replaces the old
+	// hand-carried rt.CyclesUsed() accumulator.
+	rtCycles := func() float64 {
+		return float64(reg.CounterValue("core", "compile_cycles_total") +
+			reg.CounterValue("core", "monitor_cycles_total"))
+	}
 	hostMeter := sampling.NewMeter(host)
 	hostMeter.Read(m)
 	var series []traceSample
 	interval := r.sc.TraceSeconds / float64(samples)
-	lastUsed := uint64(0)
+	lastUsed := rtCycles()
 	for i := 0; i < samples; i++ {
 		m.RunSeconds(interval)
 		hr := hostMeter.Read(m)
@@ -107,14 +121,14 @@ func (r *Runner) runTrace(system System, samples int) ([]traceSample, error) {
 			nap:      host.NapIntensity(),
 		}
 		if rt != nil {
-			used := rt.CyclesUsed()
+			used := rtCycles()
 			dt := interval * m.Config().FreqHz * float64(m.Config().Cores)
-			s.runtimeFrac = float64(used-lastUsed) / dt
+			s.runtimeFrac = (used - lastUsed) / dt
 			lastUsed = used
 		}
 		series = append(series, s)
 	}
-	return series, nil
+	return series, reg, nil
 }
 
 // Figure16 reproduces Figure 16: the dynamic behaviour of libquantum
@@ -124,11 +138,11 @@ func (r *Runner) runTrace(system System, samples int) ([]traceSample, error) {
 // TraceSeconds).
 func (r *Runner) Figure16() (*Table, error) {
 	const samples = 30
-	pcSeries, err := r.runTrace(SystemPC3D, samples)
+	pcSeries, _, err := r.runTrace(SystemPC3D, samples)
 	if err != nil {
 		return nil, err
 	}
-	rqSeries, err := r.runTrace(SystemReQoS, samples)
+	rqSeries, _, err := r.runTrace(SystemReQoS, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +183,7 @@ type TraceSummary struct {
 // SummarizeTrace computes phase means for one system's trace run.
 func (r *Runner) SummarizeTrace(system System) (TraceSummary, error) {
 	const samples = 30
-	series, err := r.runTrace(system, samples)
+	series, _, err := r.runTrace(system, samples)
 	if err != nil {
 		return TraceSummary{}, err
 	}

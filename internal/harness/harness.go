@@ -330,7 +330,7 @@ func (r *Runner) runPair(host, ext string, system System, target float64) (PairR
 	var ctrl *pc3d.Controller
 	switch system {
 	case SystemPC3D:
-		rt, err = core.Attach(m, hp, core.Options{RuntimeCore: 2})
+		rt, err = core.New(core.Config{Machine: m, Host: hp, RuntimeCore: 2})
 		if err != nil {
 			return PairResult{}, err
 		}
@@ -339,8 +339,10 @@ func (r *Runner) runPair(host, ext string, system System, target float64) (PairR
 			solo, _ := flux.SoloIPS()
 			return phase.Signature{Rate: solo}
 		}
-		ctrl = pc3d.New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ep}, extSig,
-			pc3d.Options{Target: target, MaxSites: r.sc.MaxSites})
+		ctrl = pc3d.New(pc3d.Config{
+			Runtime: rt, Steady: flux, Window: &qos.FluxWindow{Flux: flux, Ext: ep}, ExtSig: extSig,
+			Target: target, MaxSites: r.sc.MaxSites,
+		})
 		defer ctrl.Close()
 		m.AddAgent(ctrl)
 	case SystemReQoS:

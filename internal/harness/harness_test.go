@@ -283,6 +283,42 @@ func TestFigure16Dynamics(t *testing.T) {
 	}
 }
 
+func TestFigureTimeline(t *testing.T) {
+	tab, err := shared.FigureTimeline()
+	if err != nil {
+		t.Fatalf("FigureTimeline: %v", err)
+	}
+	if len(tab.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(tab.Rows))
+	}
+	sumCol := func(col int) int {
+		var n int
+		for _, row := range tab.Rows {
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				t.Fatalf("parse %q: %v", row[col], err)
+			}
+			n += v
+		}
+		return n
+	}
+	// The PC3D trace run searches at every load step, so the event trace
+	// must show compile and dispatch activity, and every compile that
+	// started also finished or failed.
+	started, finished, failed := sumCol(1), sumCol(2), sumCol(3)
+	if started == 0 || sumCol(4) == 0 {
+		t.Errorf("timeline shows no activity: %d compiles, %d dispatches", started, sumCol(4))
+	}
+	if finished+failed > started {
+		t.Errorf("compiles finished+failed = %d+%d, exceeds started = %d", finished, failed, started)
+	}
+	for _, row := range tab.Rows {
+		if _, err := strconv.ParseFloat(row[7], 64); err != nil {
+			t.Errorf("nap column %q not a float: %v", row[7], err)
+		}
+	}
+}
+
 func TestFigure17And18(t *testing.T) {
 	t17, err := shared.Figure17()
 	if err != nil {
@@ -344,11 +380,14 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 22 {
-		t.Errorf("artifacts = %d, want 22", len(arts))
+	if len(arts) != 23 {
+		t.Errorf("artifacts = %d, want 23", len(arts))
 	}
 	if _, err := ArtifactByKey("figchaos"); err != nil {
 		t.Errorf("figchaos missing: %v", err)
+	}
+	if _, err := ArtifactByKey("figtimeline"); err != nil {
+		t.Errorf("figtimeline missing: %v", err)
 	}
 	if _, err := ArtifactByKey("fig4"); err != nil {
 		t.Errorf("fig4 missing: %v", err)

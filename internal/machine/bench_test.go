@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // BenchmarkInterpreter measures raw interpreter throughput (simulated
@@ -60,6 +61,32 @@ func BenchmarkQuadCoreContention(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.RunQuanta(1)
+	}
+}
+
+// BenchmarkMachine compares simulation throughput with telemetry disabled
+// (nil registry: every instrument call is a nil-receiver no-op) against a
+// live per-machine registry. The telemetry plane's contract is that a live
+// registry costs less than 5% on this hot path.
+func BenchmarkMachine(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		reg  *telemetry.Registry
+	}{
+		{"telemetry=off", nil},
+		{"telemetry=on", telemetry.New(telemetry.Config{})},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			bin := compile(b, streamModule(b, "stream", 4<<20), false)
+			m := New(Config{Cores: 2, Telemetry: tc.reg})
+			if _, err := m.Attach(0, bin, ProcessOptions{Restart: true}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RunQuanta(1)
+			}
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/progbin"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the machine.
@@ -54,6 +55,11 @@ type Config struct {
 	NapWindowCycles uint64
 	// Seed perturbs per-process address-stream randomness.
 	Seed int64
+	// Telemetry receives machine-level instrumentation (quanta counter,
+	// nap-state transition events under the "machine" subsystem). Nil
+	// disables it at no cost. The registry must be owned by this machine:
+	// it is written from the simulation goroutine without locks.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -101,17 +107,27 @@ type Machine struct {
 	now      uint64 // global cycles
 	inTick   bool
 	deferred []func()
+
+	tel     *telemetry.Registry
+	cQuanta *telemetry.Counter
 }
 
 // New builds a machine.
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
-	return &Machine{
+	m := &Machine{
 		cfg:   cfg,
 		hier:  cache.NewHierarchy(cfg.Hierarchy),
 		procs: make([]*Process, cfg.Cores),
+		tel:   cfg.Telemetry,
 	}
+	m.cQuanta = m.tel.Counter("machine", "quanta_total", "scheduling quanta executed")
+	return m
 }
+
+// Telemetry returns the registry this machine reports into (nil when
+// uninstrumented). Subsystems attached to the machine share it.
+func (m *Machine) Telemetry() *telemetry.Registry { return m.tel }
 
 // Config returns the effective configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -175,6 +191,7 @@ func (m *Machine) Defer(fn func()) {
 
 // RunQuanta advances the machine n quanta.
 func (m *Machine) RunQuanta(n int) {
+	m.cQuanta.Add(uint64(n))
 	for i := 0; i < n; i++ {
 		m.now += m.cfg.QuantumCycles
 		for _, p := range m.procs {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/progbin"
+	"repro/internal/telemetry"
 )
 
 // Instruction issue costs in cycles. Loads and stores add memory time on
@@ -253,13 +254,21 @@ func (p *Process) CurrentFunc() string {
 }
 
 // SetNapIntensity sets the napping duty cycle in [0,1]: the fraction of
-// each nap window the process sleeps.
+// each nap window the process sleeps. This is the authoritative nap-state
+// transition point — every policy funnels through it, so the telemetry
+// trace records exactly one event per actual change.
 func (p *Process) SetNapIntensity(f float64) {
 	if f < 0 {
 		f = 0
 	}
 	if f > 1 {
 		f = 1
+	}
+	if f != p.napIntensity && p.m.tel.TraceEnabled() {
+		p.m.tel.Emit(telemetry.Event{
+			At: p.m.now, Kind: telemetry.EvNap, Core: p.core,
+			Value: f, Detail: telemetry.FormatFloat(p.napIntensity),
+		})
 	}
 	p.napIntensity = f
 }

@@ -53,7 +53,7 @@ func TestSupervisedCrashMidSearch(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		ctrl := New(rt, r.flux, &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, extSigFromFlux(r.flux), Options{Target: 0.95})
+		ctrl := New(Config{Runtime: rt, Steady: r.flux, Window: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, ExtSig: extSigFromFlux(r.flux), Target: 0.95})
 		ctrls = append(ctrls, ctrl)
 		return &supervise.Session{Runtime: rt, Policy: ctrl, Close: ctrl.Close}, nil
 	}
@@ -159,7 +159,7 @@ func TestPC3DSurvivesCompileFaults(t *testing.T) {
 	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)
 	flux.ReferenceIPS = extIPS
 	m.AddAgent(flux)
-	ctrl := New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ext}, extSigFromFlux(flux), Options{Target: 0.95})
+	ctrl := New(Config{Runtime: rt, Steady: flux, Window: &qos.FluxWindow{Flux: flux, Ext: ext}, ExtSig: extSigFromFlux(flux), Target: 0.95})
 	defer ctrl.Close()
 	m.AddAgent(ctrl)
 
@@ -191,7 +191,7 @@ func TestPC3DSurvivesSensorDropouts(t *testing.T) {
 			drop := chaos.DropoutFn(0, r.m.Config().FreqHz)
 			steady := &faults.FlakySource{Src: r.flux, M: r.m, Drop: drop, NaN: nan}
 			win := &faults.FlakyWindow{Win: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, Drop: drop, NaN: nan}
-			ctrl := New(r.rt, steady, win, extSigFromFlux(r.flux), Options{Target: 0.95})
+			ctrl := New(Config{Runtime: r.rt, Steady: steady, Window: win, ExtSig: extSigFromFlux(r.flux), Target: 0.95})
 			defer ctrl.Close()
 			r.m.AddAgent(ctrl)
 

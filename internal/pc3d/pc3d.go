@@ -25,10 +25,21 @@ import (
 	"repro/internal/phase"
 	"repro/internal/qos"
 	"repro/internal/sampling"
+	"repro/internal/telemetry"
 )
 
-// Options tune the controller.
-type Options struct {
+// Config configures a controller (consumed by New, mirroring the machine
+// and fleet constructor surfaces).
+type Config struct {
+	// Runtime is the attached protean runtime driving the host. Required.
+	Runtime *core.Runtime
+	// Steady provides continuous QoS estimates (e.g. *qos.FluxMonitor).
+	Steady qos.Source
+	// Window scores evaluation windows during variant probes.
+	Window qos.WindowScorer
+	// ExtSig produces the external app's phase signature each check
+	// (progress rate and, when available, hot-code vector). Optional.
+	ExtSig func(m *machine.Machine) phase.Signature
 	// Target is the co-runner QoS target (e.g. 0.95).
 	Target float64
 	// WarmupCycles precede the first decision (profile + solo estimates
@@ -69,38 +80,47 @@ type Options struct {
 	CompileBackoffCycles uint64
 	// Trace, when non-nil, receives search-decision log lines.
 	Trace func(format string, args ...any)
+	// Telemetry receives the controller's counters (searches, probes,
+	// dropouts, violations) and QoS/dropout trace events under the "pc3d"
+	// subsystem. Nil disables instrumentation at no cost.
+	Telemetry *telemetry.Registry
 }
 
-func (o Options) withDefaults(m *machine.Machine) Options {
+// Options is the deprecated name for Config.
+//
+// Deprecated: use Config with New. Kept one release for compatibility.
+type Options = Config
+
+func (cfg Config) withDefaults(m *machine.Machine) Config {
 	ms := uint64(m.Config().FreqHz / 1000)
-	if o.Target == 0 {
-		o.Target = 0.95
+	if cfg.Target == 0 {
+		cfg.Target = 0.95
 	}
-	if o.WarmupCycles == 0 {
-		o.WarmupCycles = 200 * ms
+	if cfg.WarmupCycles == 0 {
+		cfg.WarmupCycles = 200 * ms
 	}
-	if o.SettleCycles == 0 {
-		o.SettleCycles = 150 * ms
+	if cfg.SettleCycles == 0 {
+		cfg.SettleCycles = 150 * ms
 	}
-	if o.WindowCycles == 0 {
-		o.WindowCycles = 150 * ms
+	if cfg.WindowCycles == 0 {
+		cfg.WindowCycles = 150 * ms
 	}
-	if o.NapTolerance == 0 {
-		o.NapTolerance = 0.1
+	if cfg.NapTolerance == 0 {
+		cfg.NapTolerance = 0.1
 	}
-	if o.CheckCycles == 0 {
-		o.CheckCycles = 200 * ms
+	if cfg.CheckCycles == 0 {
+		cfg.CheckCycles = 200 * ms
 	}
-	if o.AdjustStep == 0 {
-		o.AdjustStep = 0.05
+	if cfg.AdjustStep == 0 {
+		cfg.AdjustStep = 0.05
 	}
-	if o.CompileRetries == 0 {
-		o.CompileRetries = 3
+	if cfg.CompileRetries == 0 {
+		cfg.CompileRetries = 3
 	}
-	if o.CompileBackoffCycles == 0 {
-		o.CompileBackoffCycles = 8 * ms
+	if cfg.CompileBackoffCycles == 0 {
+		cfg.CompileBackoffCycles = 8 * ms
 	}
-	return o
+	return cfg
 }
 
 // Stats expose controller activity for the evaluation harness.
@@ -134,7 +154,7 @@ type Controller struct {
 	host   *machine.Process
 	steady qos.Source
 	win    qos.WindowScorer
-	opts   Options
+	cfg    Config
 
 	loop    *agentloop.Loop
 	space   SearchSpace
@@ -151,28 +171,59 @@ type Controller struct {
 	searched   bool    // a search ran in the current co-phase
 	napFloor   float64 // the search's converged nap; steady relax stops here
 	violations int     // consecutive sub-target steady readings
+
+	tel         *telemetry.Registry
+	cSearches   *telemetry.Counter
+	cEvals      *telemetry.Counter
+	cProbes     *telemetry.Counter
+	cPhases     *telemetry.Counter
+	cAborts     *telemetry.Counter
+	cRetries    *telemetry.Counter
+	cFails      *telemetry.Counter
+	cDropouts   *telemetry.Counter
+	cViolations *telemetry.Counter
 }
 
-// New builds a controller. rt must already be attached to the host and
-// registered on the machine; steady provides continuous QoS estimates
-// (e.g. *qos.FluxMonitor); win scores evaluation windows; extSig produces
-// the external app's phase signature each check (progress rate and, when
-// available, hot-code vector).
-func New(rt *core.Runtime, steady qos.Source, win qos.WindowScorer, extSig func(m *machine.Machine) phase.Signature, opts Options) *Controller {
+// New builds a controller from cfg. cfg.Runtime must already be attached
+// to the host and registered on the machine.
+func New(cfg Config) *Controller {
 	c := &Controller{
-		rt:        rt,
-		host:      rt.Host(),
-		steady:    steady,
-		win:       win,
-		opts:      opts,
+		rt:        cfg.Runtime,
+		host:      cfg.Runtime.Host(),
+		steady:    cfg.Steady,
+		win:       cfg.Window,
+		cfg:       cfg,
 		cophase:   phase.NewCoPhase(),
-		extSig:    extSig,
+		extSig:    cfg.ExtSig,
 		mask:      make(map[int]bool),
 		cache:     make(map[string]*core.Variant),
-		hostMeter: sampling.NewMeter(rt.Host()),
+		hostMeter: sampling.NewMeter(cfg.Runtime.Host()),
 	}
+	c.tel = cfg.Telemetry
+	c.cSearches = c.tel.Counter("pc3d", "searches_total", "Algorithm 1 greedy searches started")
+	c.cEvals = c.tel.Counter("pc3d", "variant_evals_total", "variant evaluations (Algorithm 2 invocations)")
+	c.cProbes = c.tel.Counter("pc3d", "nap_probes_total", "nap-intensity measurement windows")
+	c.cPhases = c.tel.Counter("pc3d", "phase_changes_total", "co-phase changes observed")
+	c.cAborts = c.tel.Counter("pc3d", "search_aborts_total", "searches abandoned on mid-search phase change")
+	c.cRetries = c.tel.Counter("pc3d", "compile_retries_total", "compile retry attempts after failures")
+	c.cFails = c.tel.Counter("pc3d", "compile_failures_total", "compiles abandoned after all retries")
+	c.cDropouts = c.tel.Counter("pc3d", "sensor_dropouts_total", "QoS readings discarded as missing or invalid")
+	c.cViolations = c.tel.Counter("pc3d", "qos_violations_total", "steady-state QoS readings below target")
 	c.loop = agentloop.New(c.policy)
 	return c
+}
+
+// NewController builds a controller from the pre-Config argument list.
+//
+// Deprecated: use New(Config{Runtime: rt, Steady: steady, Window: win,
+// ExtSig: extSig, ...}). Kept one release for compatibility.
+func NewController(rt *core.Runtime, steady qos.Source, win qos.WindowScorer, extSig func(m *machine.Machine) phase.Signature, opts Options) *Controller {
+	cfg := opts
+	cfg.Runtime = rt
+	cfg.Steady = steady
+	cfg.Window = win
+	cfg.ExtSig = extSig
+	return New(cfg)
 }
 
 // Tick implements machine.Agent.
@@ -211,8 +262,8 @@ func (c *Controller) policy(l *agentloop.Loop) {
 	if m == nil {
 		return
 	}
-	opts := c.opts.withDefaults(m)
-	c.opts = opts
+	opts := c.cfg.withDefaults(m)
+	c.cfg = opts
 	if m = l.WaitCycles(opts.WarmupCycles); m == nil {
 		return
 	}
@@ -226,6 +277,7 @@ func (c *Controller) policy(l *agentloop.Loop) {
 			// flux windows flush the boundary transient before the next
 			// reading is trusted.
 			c.stats.PhaseChanges++
+			c.cPhases.Inc()
 			c.searched = false
 			c.violations = 0
 			c.setMaskOriginal()
@@ -239,10 +291,16 @@ func (c *Controller) policy(l *agentloop.Loop) {
 			// Corrupted sensor reading claimed as valid: treat it like a
 			// dropout rather than propagating NaN into nap arithmetic.
 			c.stats.SensorDropouts++
+			c.cDropouts.Inc()
+			c.tel.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvSensorDropout})
 			ok = false
 		}
 		if ok && q >= opts.Target {
 			c.violations = 0
+		}
+		if ok && q < opts.Target {
+			c.cViolations.Inc()
+			c.tel.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvQoSViolation, Value: q})
 		}
 		switch {
 		case !ok:
@@ -296,12 +354,12 @@ func (c *Controller) observePhases(m *machine.Machine) bool {
 	c.rt.Sampler().ResetWindow()
 	if hostProf.Total() > 0 {
 		sig := phase.Signature{Hot: hostProf.Normalized()}
-		if c.cophase.Observe("host", sig, c.opts.PhaseThreshold) {
+		if c.cophase.Observe("host", sig, c.cfg.PhaseThreshold) {
 			changed = true
 		}
 	}
 	if c.extSig != nil {
-		if c.cophase.Observe("ext", c.extSig(m), c.opts.PhaseThreshold) {
+		if c.cophase.Observe("ext", c.extSig(m), c.cfg.PhaseThreshold) {
 			changed = true
 		}
 	}
@@ -314,6 +372,7 @@ func (c *Controller) observePhases(m *machine.Machine) bool {
 // and lets the monitoring loop re-decide in the new phase.
 func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.Machine {
 	c.stats.Searches++
+	c.cSearches.Inc()
 	c.searched = true
 
 	aborted := func(m *machine.Machine) bool {
@@ -321,7 +380,9 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 			return false
 		}
 		c.stats.PhaseChanges++
+		c.cPhases.Inc()
 		c.stats.SearchAborts++
+		c.cAborts.Inc()
 		c.trace("search aborted: co-phase changed")
 		c.searched = false
 		c.violations = 0
@@ -333,8 +394,8 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 	prof := c.rt.Sampler().Lifetime()
 	c.space = BuildSearchSpace(c.rt.IR(), prof)
 	sites := c.space.Sites
-	if c.opts.MaxSites > 0 && len(sites) > c.opts.MaxSites {
-		sites = sites[:c.opts.MaxSites]
+	if c.cfg.MaxSites > 0 && len(sites) > c.cfg.MaxSites {
+		sites = sites[:c.cfg.MaxSites]
 	}
 	if len(sites) == 0 {
 		// Nothing to transform: pure napping fallback.
@@ -386,11 +447,11 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 	// Greedy pass: revoke hints in decreasing-importance order, keeping
 	// revocations that improve host performance at QoS-satisfying nap.
 	for _, id := range sites {
-		if !c.opts.NoBoundsReuse && napLB >= napUB-1e-9 {
+		if !c.cfg.NoBoundsReuse && napLB >= napUB-1e-9 {
 			break
 		}
 		lb, ub := napLB, napUB
-		if c.opts.NoBoundsReuse {
+		if c.cfg.NoBoundsReuse {
 			lb, ub = 0, 1
 		}
 		cur[id] = false
@@ -431,6 +492,7 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 // there.
 func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask map[int]bool, napLB, napUB float64) (nap, bps float64, out *machine.Machine) {
 	c.stats.VariantEvals++
+	c.cEvals.Inc()
 	if m = c.applyMask(l, m, mask); m == nil {
 		return 0, 0, nil
 	}
@@ -438,7 +500,7 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 	bps = 0
 	measure := func(at float64) (float64, float64, bool) {
 		c.setNap(at)
-		if m = l.WaitCycles(c.opts.SettleCycles); m == nil {
+		if m = l.WaitCycles(c.cfg.SettleCycles); m == nil {
 			return 0, 0, false
 		}
 		// A dark or corrupted QoS sensor invalidates the window; re-measure
@@ -446,16 +508,19 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 		for attempt := 0; ; attempt++ {
 			c.win.Mark(m)
 			c.hostMeter.Read(m)
-			if m = l.WaitCycles(c.opts.WindowCycles); m == nil {
+			if m = l.WaitCycles(c.cfg.WindowCycles); m == nil {
 				return 0, 0, false
 			}
 			q, qok := c.win.Score(m)
 			r := c.hostMeter.Read(m)
 			c.stats.NapProbes++
+			c.cProbes.Inc()
 			if qok && !math.IsNaN(q) && !math.IsInf(q, 0) {
 				return q, r.BPS, true
 			}
 			c.stats.SensorDropouts++
+			c.cDropouts.Inc()
+			c.tel.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvSensorDropout})
 			if attempt >= 2 {
 				// Still no signal: fail the probe conservatively. A probe
 				// that "misses QoS" drives the binary search toward more
@@ -465,13 +530,13 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 		}
 	}
 	loRaised := false
-	for hi-lo > c.opts.NapTolerance {
+	for hi-lo > c.cfg.NapTolerance {
 		cur := (lo + hi) / 2
 		q, r, ok := measure(cur)
 		if !ok {
 			return 0, 0, nil
 		}
-		if q >= c.opts.Target {
+		if q >= c.cfg.Target {
 			hi = cur
 			bps = r
 		} else {
@@ -488,7 +553,7 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 		if !ok {
 			return 0, 0, nil
 		}
-		if q >= c.opts.Target {
+		if q >= c.cfg.Target {
 			return lo, r, m
 		}
 	}
@@ -499,7 +564,7 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 		if !ok {
 			return 0, 0, nil
 		}
-		if q >= c.opts.Target {
+		if q >= c.cfg.Target {
 			bps = r
 		}
 	}
@@ -542,7 +607,7 @@ func (c *Controller) applyMask(l *agentloop.Loop, m *machine.Machine, mask map[i
 		// that still fails keeps its current code for this mask — the
 		// search just measures the variant without that flip.
 		var got *core.Variant
-		backoff := c.opts.CompileBackoffCycles
+		backoff := c.cfg.CompileBackoffCycles
 		for attempt := 0; ; attempt++ {
 			v, cerr, mm := c.compileOnce(l, m, fn, mask, key)
 			if mm == nil {
@@ -553,12 +618,14 @@ func (c *Controller) applyMask(l *agentloop.Loop, m *machine.Machine, mask map[i
 				got = v
 				break
 			}
-			if attempt >= c.opts.CompileRetries {
+			if attempt >= c.cfg.CompileRetries {
 				c.stats.CompileFailures++
+				c.cFails.Inc()
 				c.trace("compile %s: giving up after %d attempts: %v", fn, attempt+1, cerr)
 				break
 			}
 			c.stats.CompileRetries++
+			c.cRetries.Inc()
 			c.trace("compile %s failed (attempt %d): %v; retrying", fn, attempt+1, cerr)
 			if m = l.WaitCycles(backoff); m == nil {
 				return nil
@@ -622,8 +689,8 @@ func (c *Controller) setNap(f float64) {
 }
 
 func (c *Controller) trace(format string, args ...any) {
-	if c.opts.Trace != nil {
-		c.opts.Trace(format, args...)
+	if c.cfg.Trace != nil {
+		c.cfg.Trace(format, args...)
 	}
 }
 

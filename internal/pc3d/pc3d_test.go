@@ -158,7 +158,7 @@ func extSigFromFlux(f *qos.FluxMonitor) func(*machine.Machine) phase.Signature {
 
 func TestPC3DProtectsQoSWithStreamingHost(t *testing.T) {
 	r := buildRig(t, "er-naive", "libquantum", 0.95)
-	ctrl := New(r.rt, r.flux, &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, extSigFromFlux(r.flux), Options{Target: 0.95})
+	ctrl := New(Config{Runtime: r.rt, Steady: r.flux, Window: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, ExtSig: extSigFromFlux(r.flux), Target: 0.95})
 	defer ctrl.Close()
 	r.m.AddAgent(ctrl)
 
@@ -191,7 +191,7 @@ func TestPC3DBeatsReQoSOnStreamingHost(t *testing.T) {
 
 	// PC3D.
 	r1 := buildRig(t, "er-naive", "libquantum", target)
-	ctrl := New(r1.rt, r1.flux, &qos.FluxWindow{Flux: r1.flux, Ext: r1.ext}, extSigFromFlux(r1.flux), Options{Target: target})
+	ctrl := New(Config{Runtime: r1.rt, Steady: r1.flux, Window: &qos.FluxWindow{Flux: r1.flux, Ext: r1.ext}, ExtSig: extSigFromFlux(r1.flux), Target: target})
 	defer ctrl.Close()
 	r1.m.AddAgent(ctrl)
 	r1.m.RunSeconds(8)
@@ -216,7 +216,7 @@ func TestPC3DNoInterventionWhenQoSMet(t *testing.T) {
 	// bzip2 is gentle: QoS stays above target, so PC3D should neither nap
 	// nor transform.
 	r := buildRig(t, "er-naive", "bzip2", 0.6)
-	ctrl := New(r.rt, r.flux, &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, extSigFromFlux(r.flux), Options{Target: 0.6})
+	ctrl := New(Config{Runtime: r.rt, Steady: r.flux, Window: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, ExtSig: extSigFromFlux(r.flux), Target: 0.6})
 	defer ctrl.Close()
 	r.m.AddAgent(ctrl)
 	r.m.RunSeconds(4)
@@ -239,7 +239,7 @@ func TestPC3DFallsBackToNapping(t *testing.T) {
 	// on napping (possibly with an empty or tiny mask) while protecting
 	// QoS.
 	r := buildRig(t, "er-naive", "er-naive", 0.95)
-	ctrl := New(r.rt, r.flux, &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, extSigFromFlux(r.flux), Options{Target: 0.95})
+	ctrl := New(Config{Runtime: r.rt, Steady: r.flux, Window: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, ExtSig: extSigFromFlux(r.flux), Target: 0.95})
 	defer ctrl.Close()
 	r.m.AddAgent(ctrl)
 	r.m.RunSeconds(8)
@@ -255,7 +255,7 @@ func TestPC3DFallsBackToNapping(t *testing.T) {
 
 func TestStatsSnapshot(t *testing.T) {
 	r := buildRig(t, "er-naive", "libquantum", 0.95)
-	ctrl := New(r.rt, r.flux, &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, extSigFromFlux(r.flux), Options{Target: 0.95})
+	ctrl := New(Config{Runtime: r.rt, Steady: r.flux, Window: &qos.FluxWindow{Flux: r.flux, Ext: r.ext}, ExtSig: extSigFromFlux(r.flux), Target: 0.95})
 	defer ctrl.Close()
 	r.m.AddAgent(ctrl)
 	r.m.RunSeconds(6)

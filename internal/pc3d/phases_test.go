@@ -81,8 +81,7 @@ func TestPC3DReactsToHostPhases(t *testing.T) {
 	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)
 	flux.ReferenceIPS = extSolo
 	m.AddAgent(flux)
-	ctrl := New(rt, flux, &qos.FluxWindow{Flux: flux, Ext: ext}, extSigFromFlux(flux),
-		Options{Target: 0.95})
+	ctrl := New(Config{Runtime: rt, Steady: flux, Window: &qos.FluxWindow{Flux: flux, Ext: ext}, ExtSig: extSigFromFlux(flux), Target: 0.95})
 	defer ctrl.Close()
 	m.AddAgent(ctrl)
 

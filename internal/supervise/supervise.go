@@ -28,6 +28,7 @@ package supervise
 import (
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
 
 // Session is one runtime/policy incarnation under supervision.
@@ -47,8 +48,8 @@ type Session struct {
 // again at every restart.
 type Builder func() (*Session, error)
 
-// Options tune the supervisor.
-type Options struct {
+// Config tunes the supervisor (consumed by New).
+type Config struct {
 	// CrashFn, when non-nil, is the injected crash schedule: consulted once
 	// per quantum with the current cycle, a true return kills the live
 	// runtime (e.g. faults.Chaos.RuntimeCrashFn).
@@ -65,19 +66,28 @@ type Options struct {
 	BackoffResetSeconds float64
 	// Trace, when non-nil, receives supervision events.
 	Trace func(format string, args ...any)
+	// Telemetry receives supervision counters (reaps, restarts, reverted
+	// slots), the backoff/healthy gauges, and reap/re-attach trace events
+	// under the "supervise" subsystem. Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
-func (o Options) withDefaults() Options {
-	if o.BackoffSeconds == 0 {
-		o.BackoffSeconds = 0.05
+// Options is the deprecated name for Config.
+//
+// Deprecated: use Config. Kept one release for compatibility.
+type Options = Config
+
+func (cfg Config) withDefaults() Config {
+	if cfg.BackoffSeconds == 0 {
+		cfg.BackoffSeconds = 0.05
 	}
-	if o.BackoffMaxSeconds == 0 {
-		o.BackoffMaxSeconds = 1.0
+	if cfg.BackoffMaxSeconds == 0 {
+		cfg.BackoffMaxSeconds = 1.0
 	}
-	if o.BackoffResetSeconds == 0 {
-		o.BackoffResetSeconds = 2.0
+	if cfg.BackoffResetSeconds == 0 {
+		cfg.BackoffResetSeconds = 2.0
 	}
-	return o
+	return cfg
 }
 
 // Stats expose supervision activity.
@@ -101,31 +111,48 @@ type Supervisor struct {
 	m     *machine.Machine
 	host  *machine.Process
 	build Builder
-	opts  Options
+	cfg   Config
 
 	sess         *Session
 	sessionStart uint64
 	retryAt      uint64
 	backoff      uint64 // cycles
 	stats        Stats
+
+	tel       *telemetry.Registry
+	cReaps    *telemetry.Counter
+	cRestarts *telemetry.Counter
+	cFailures *telemetry.Counter
+	cReverted *telemetry.Counter
+	gBackoff  *telemetry.Gauge
+	gHealthy  *telemetry.Gauge
 }
 
 // New builds a supervisor and its first session. A Builder error here is
 // fatal (there is nothing to supervise yet).
-func New(m *machine.Machine, host *machine.Process, build Builder, opts Options) (*Supervisor, error) {
+func New(m *machine.Machine, host *machine.Process, build Builder, cfg Config) (*Supervisor, error) {
 	sess, err := build()
 	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	cfg = cfg.withDefaults()
 	s := &Supervisor{
 		m:     m,
 		host:  host,
 		build: build,
-		opts:  opts,
+		cfg:   cfg,
 		sess:  sess,
 	}
-	s.backoff = m.Cycles(opts.BackoffSeconds)
+	s.backoff = m.Cycles(cfg.BackoffSeconds)
+	s.tel = cfg.Telemetry
+	s.cReaps = s.tel.Counter("supervise", "reaps_total", "dead runtimes reaped (EVT reverted)")
+	s.cRestarts = s.tel.Counter("supervise", "restarts_total", "successful runtime re-attaches")
+	s.cFailures = s.tel.Counter("supervise", "restart_failures_total", "session builder errors during recovery")
+	s.cReverted = s.tel.Counter("supervise", "reverted_slots_total", "EVT slots pointed back at static code during recovery")
+	s.gBackoff = s.tel.Gauge("supervise", "backoff_seconds", "next re-attach backoff delay")
+	s.gHealthy = s.tel.Gauge("supervise", "healthy", "1 while a non-crashed session is live")
+	s.gBackoff.Set(cfg.BackoffSeconds)
+	s.gHealthy.Set(1)
 	return s, nil
 }
 
@@ -149,7 +176,7 @@ func (s *Supervisor) Stats() Stats { return s.stats }
 func (s *Supervisor) Tick(m *machine.Machine) {
 	if s.sess != nil {
 		rt := s.sess.Runtime
-		if s.opts.CrashFn != nil && !rt.Crashed() && s.opts.CrashFn(m.Now()) {
+		if s.cfg.CrashFn != nil && !rt.Crashed() && s.cfg.CrashFn(m.Now()) {
 			rt.Crash()
 		}
 		if !rt.Crashed() {
@@ -178,20 +205,28 @@ func (s *Supervisor) Close() {
 // every EVT slot back at static code, and schedule a re-attach.
 func (s *Supervisor) reap(m *machine.Machine) {
 	s.stats.Crashes++
+	s.cReaps.Inc()
 	if s.sess.Close != nil {
 		s.sess.Close()
 	}
 	reverted := RevertToStatic(s.host)
 	s.stats.RevertedSlots += reverted
+	s.cReverted.Add(uint64(reverted))
 	// A session that lived long enough proves the crash isn't a loop;
 	// start the next backoff sequence fresh.
-	if m.Now()-s.sessionStart >= m.Cycles(s.opts.BackoffResetSeconds) {
-		s.backoff = m.Cycles(s.opts.BackoffSeconds)
+	if m.Now()-s.sessionStart >= m.Cycles(s.cfg.BackoffResetSeconds) {
+		s.backoff = m.Cycles(s.cfg.BackoffSeconds)
 	}
 	s.sess = nil
 	s.retryAt = m.Now() + s.backoff
+	backoffSec := float64(s.backoff) / m.Config().FreqHz
+	s.gHealthy.Set(0)
+	s.tel.Emit(telemetry.Event{
+		At: m.Now(), Kind: telemetry.EvReap,
+		Value: float64(reverted), Detail: telemetry.FormatFloat(backoffSec),
+	})
 	s.trace("runtime crashed at %.3fs: %d slots reverted, re-attach in %.3fs",
-		m.NowSeconds(), reverted, float64(s.backoff)/m.Config().FreqHz)
+		m.NowSeconds(), reverted, backoffSec)
 	s.bumpBackoff(m)
 }
 
@@ -199,6 +234,7 @@ func (s *Supervisor) restart(m *machine.Machine) {
 	sess, err := s.build()
 	if err != nil {
 		s.stats.RestartFailures++
+		s.cFailures.Inc()
 		s.retryAt = m.Now() + s.backoff
 		s.trace("re-attach failed at %.3fs: %v; retry in %.3fs",
 			m.NowSeconds(), err, float64(s.backoff)/m.Config().FreqHz)
@@ -208,19 +244,25 @@ func (s *Supervisor) restart(m *machine.Machine) {
 	s.sess = sess
 	s.sessionStart = m.Now()
 	s.stats.Restarts++
+	s.cRestarts.Inc()
+	s.gHealthy.Set(1)
+	s.tel.Emit(telemetry.Event{
+		At: m.Now(), Kind: telemetry.EvReattach, Value: float64(s.stats.Restarts),
+	})
 	s.trace("runtime re-attached at %.3fs (restart %d)", m.NowSeconds(), s.stats.Restarts)
 }
 
 func (s *Supervisor) bumpBackoff(m *machine.Machine) {
 	s.backoff *= 2
-	if max := m.Cycles(s.opts.BackoffMaxSeconds); s.backoff > max {
+	if max := m.Cycles(s.cfg.BackoffMaxSeconds); s.backoff > max {
 		s.backoff = max
 	}
+	s.gBackoff.Set(float64(s.backoff) / m.Config().FreqHz)
 }
 
 func (s *Supervisor) trace(format string, args ...any) {
-	if s.opts.Trace != nil {
-		s.opts.Trace(format, args...)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(format, args...)
 	}
 }
 

@@ -2,6 +2,7 @@ package supervise
 
 import (
 	"errors"
+	"strconv"
 	"testing"
 
 	"repro/internal/agentloop"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/pcc"
+	"repro/internal/telemetry"
 )
 
 func hostModule(t testing.TB) *ir.Module {
@@ -176,6 +178,84 @@ func TestCrashLoopBacksOff(t *testing.T) {
 	}
 	if host.Counters().Sub(before).Insts == 0 {
 		t.Error("host starved by crash loop")
+	}
+}
+
+// TestTelemetryEventOrderAndCappedBackoff drives a crash loop with a live
+// registry and checks the telemetry plane's view of it: reap and re-attach
+// events strictly alternate in simulated-time order, the backoff gauge
+// grows to the configured cap and no further, and the counters agree with
+// the supervisor's own stats.
+func TestTelemetryEventOrderAndCappedBackoff(t *testing.T) {
+	reg := telemetry.New(telemetry.Config{})
+	m, host := hostProc(t)
+	build := func() (*Session, error) {
+		rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 1, Telemetry: reg})
+		if err != nil {
+			return nil, err
+		}
+		return &Session{Runtime: rt}, nil
+	}
+	const backoffMax = 0.4
+	sup, err := New(m, host, build, Config{
+		CrashFn:           func(uint64) bool { return true },
+		BackoffMaxSeconds: backoffMax,
+		Telemetry:         reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.AddAgent(sup)
+	m.RunSeconds(5)
+	st := sup.Stats()
+	if st.Crashes < 3 {
+		t.Fatalf("Crashes = %d over 5s crash loop, want several", st.Crashes)
+	}
+
+	if got := reg.CounterValue("supervise", "reaps_total"); got != uint64(st.Crashes) {
+		t.Errorf("reaps_total = %d, stats.Crashes = %d", got, st.Crashes)
+	}
+	if got := reg.CounterValue("supervise", "restarts_total"); got != uint64(st.Restarts) {
+		t.Errorf("restarts_total = %d, stats.Restarts = %d", got, st.Restarts)
+	}
+	if got := reg.GaugeValue("supervise", "backoff_seconds"); got != backoffMax {
+		t.Errorf("backoff_seconds gauge = %v after a sustained crash loop, want capped at %v", got, backoffMax)
+	}
+
+	// Events alternate reap, reattach, reap, ... in non-decreasing
+	// simulated time, and every reap's recorded backoff never exceeds the
+	// cap.
+	var seen []telemetry.Event
+	for _, ev := range reg.Events() {
+		if ev.Kind == telemetry.EvReap || ev.Kind == telemetry.EvReattach {
+			seen = append(seen, ev)
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d supervision events traced", len(seen))
+	}
+	var prevAt uint64
+	for i, ev := range seen {
+		want := telemetry.EvReap
+		if i%2 == 1 {
+			want = telemetry.EvReattach
+		}
+		if ev.Kind != want {
+			t.Fatalf("event %d = %s, want %s (reap/re-attach must alternate)", i, ev.Kind, want)
+		}
+		if ev.At < prevAt {
+			t.Fatalf("event %d at cycle %d precedes event %d at %d", i, ev.At, i-1, prevAt)
+		}
+		prevAt = ev.At
+		if ev.Kind == telemetry.EvReap {
+			backoff, err := strconv.ParseFloat(ev.Detail, 64)
+			if err != nil {
+				t.Fatalf("reap detail %q: %v", ev.Detail, err)
+			}
+			if backoff > backoffMax {
+				t.Errorf("reap %d scheduled backoff %v beyond cap %v", i, backoff, backoffMax)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNilRegistryIsNoOp: a nil registry hands out nil instruments and every
+// operation no-ops — instrumented code never branches on telemetry being on.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("core", "compiles_total", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge("pc3d", "nap_intensity", "")
+	g.Set(0.5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("fleet", "server_qos", "", []float64{0.5, 1})
+	h.Observe(0.7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	r.Emit(Event{At: 1, Kind: EvDispatch})
+	if r.Events() != nil || r.PrometheusText() != "" || r.JSONL() != "" {
+		t.Error("nil registry produced output")
+	}
+	if r.CounterValue("core", "compiles_total") != 0 || r.GaugeValue("pc3d", "nap_intensity") != 0 {
+		t.Error("nil registry read nonzero")
+	}
+	r.MergeFrom(New(Config{}), 0) // must not panic
+}
+
+func TestInstrumentsIdempotentByName(t *testing.T) {
+	r := New(Config{})
+	a := r.Counter("core", "compiles_total", "compiles")
+	b := r.Counter("core", "compiles_total", "ignored second help")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(3)
+	if r.CounterValue("core", "compiles_total") != 3 {
+		t.Errorf("CounterValue = %d, want 3", r.CounterValue("core", "compiles_total"))
+	}
+	if g1, g2 := r.Gauge("x", "g", ""), r.Gauge("x", "g", ""); g1 != g2 {
+		t.Fatal("same name returned distinct gauges")
+	}
+}
+
+func TestPrometheusExportSortedAndStable(t *testing.T) {
+	build := func() *Registry {
+		r := New(Config{})
+		r.Counter("core", "compiles_total", "completed compiles").Add(7)
+		r.Gauge("pc3d", "nap_intensity", "live nap duty cycle").Set(0.25)
+		h := r.Histogram("fleet", "server_qos", "per-server QoS", []float64{0.5, 0.9, 0.95, 1})
+		h.Observe(0.93)
+		h.Observe(0.99)
+		h.Observe(1.0)
+		return r
+	}
+	a, b := build().PrometheusText(), build().PrometheusText()
+	if a != b {
+		t.Fatal("identical registries exported different bytes")
+	}
+	for _, want := range []string{
+		"# TYPE protean_core_compiles_total counter",
+		"protean_core_compiles_total 7",
+		"protean_pc3d_nap_intensity 0.25",
+		`protean_fleet_server_qos_bucket{le="0.95"} 1`,
+		`protean_fleet_server_qos_bucket{le="+Inf"} 3`,
+		"protean_fleet_server_qos_count 3",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("export missing %q:\n%s", want, a)
+		}
+	}
+	// Metric blocks sorted by name: core < fleet < pc3d.
+	core := strings.Index(a, "protean_core_")
+	fl := strings.Index(a, "protean_fleet_")
+	pc := strings.Index(a, "protean_pc3d_")
+	if !(core < fl && fl < pc) {
+		t.Errorf("metrics not sorted: core@%d fleet@%d pc3d@%d", core, fl, pc)
+	}
+}
+
+func TestMergeSumsAndStampsServer(t *testing.T) {
+	mk := func(n uint64, at uint64) *Registry {
+		r := New(Config{})
+		r.Counter("supervise", "restarts_total", "").Add(n)
+		r.Gauge("fleet", "availability", "").Set(0.5)
+		r.Histogram("fleet", "server_qos", "", []float64{0.5, 1}).Observe(0.8)
+		r.Emit(Event{At: at, Kind: EvReattach, Value: float64(n)})
+		return r
+	}
+	agg := New(Config{})
+	agg.MergeFrom(mk(2, 100), 0)
+	agg.MergeFrom(mk(3, 50), 1)
+	if v := agg.CounterValue("supervise", "restarts_total"); v != 5 {
+		t.Errorf("merged counter = %d, want 5", v)
+	}
+	if v := agg.GaugeValue("fleet", "availability"); v != 1.0 {
+		t.Errorf("merged gauge = %v, want 1 (additive rollup)", v)
+	}
+	ev := agg.Events()
+	if len(ev) != 2 {
+		t.Fatalf("merged events = %d, want 2", len(ev))
+	}
+	// Canonical order: by At first, so server 1's earlier event leads.
+	if ev[0].Server != 1 || ev[0].At != 50 || ev[1].Server != 0 || ev[1].At != 100 {
+		t.Errorf("events out of canonical order: %+v", ev)
+	}
+}
+
+func TestTraceBoundedDropsOldest(t *testing.T) {
+	r := New(Config{TraceCap: 4})
+	for i := uint64(0); i < 10; i++ {
+		r.Emit(Event{At: i, Kind: EvNap})
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want 4", len(ev))
+	}
+	if ev[0].At != 6 || ev[3].At != 9 {
+		t.Errorf("ring kept wrong window: %+v", ev)
+	}
+	if r.DroppedEvents() != 6 {
+		t.Errorf("DroppedEvents = %d, want 6", r.DroppedEvents())
+	}
+	if !strings.Contains(r.PrometheusText(), "protean_telemetry_trace_dropped_total 6") {
+		t.Error("dropped counter not exported")
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	r := New(Config{TraceCap: -1})
+	if r.TraceEnabled() {
+		t.Fatal("TraceCap<0 should disable tracing")
+	}
+	r.Emit(Event{At: 1, Kind: EvDispatch})
+	if r.Events() != nil {
+		t.Error("disabled trace recorded events")
+	}
+}
+
+func TestJSONLDeterministicAndEscaped(t *testing.T) {
+	mk := func() *Registry {
+		r := New(Config{})
+		r.Emit(Event{At: 10, Kind: EvCompileFail, Func: `f"n`, Detail: "line1\nline2", Value: 1.5})
+		r.Emit(Event{At: 10, Kind: EvDispatch, Core: 2, Func: "hot"})
+		return r
+	}
+	a, b := mk().JSONL(), mk().JSONL()
+	if a != b {
+		t.Fatal("identical traces produced different JSONL")
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if want := `{"at":10,"kind":"compile_fail","server":0,"core":0,"func":"f\"n","value":1.5,"detail":"line1\nline2"}`; lines[0] != want {
+		t.Errorf("line 0 = %s\nwant     %s", lines[0], want)
+	}
+	// Same-cycle events keep emit order.
+	if !strings.Contains(lines[1], `"kind":"dispatch"`) {
+		t.Errorf("line 1 = %s", lines[1])
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := New(Config{})
+	h := r.Histogram("x", "h", "", []float64{1, 2})
+	h.Observe(1) // lands in le="1" (upper bounds are inclusive)
+	h.Observe(1.5)
+	h.Observe(99)
+	out := r.PrometheusText()
+	for _, want := range []string{
+		`protean_x_h_bucket{le="1"} 1`,
+		`protean_x_h_bucket{le="2"} 2`,
+		`protean_x_h_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
