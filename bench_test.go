@@ -291,7 +291,7 @@ func ablationSearch(b *testing.B, noBounds bool) int {
 	ep, _ := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
 	hb, _ := workload.MustByName("libquantum").CompileProtean()
 	hp, _ := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
-	rt, err := core.Attach(m, hp, core.Options{RuntimeCore: 2})
+	rt, err := core.New(core.Config{Machine: m, Host: hp, RuntimeCore: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func ablationPrefetchLead(b *testing.B, iters int64) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rt, err := core.Attach(m, p, core.Options{RuntimeCore: 1})
+	rt, err := core.New(core.Config{Machine: m, Host: p, RuntimeCore: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

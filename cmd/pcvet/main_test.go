@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestGoldens vets every corpus file and compares the report against its
+// checked-in .want golden, including the exit code implied by the golden
+// (1 iff it mentions a nonzero error count).
+func TestGoldens(t *testing.T) {
+	irs, err := filepath.Glob("testdata/*.ir")
+	if err != nil || len(irs) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, irFile := range irs {
+		irFile := irFile
+		t.Run(filepath.Base(irFile), func(t *testing.T) {
+			want, err := os.ReadFile(strings.TrimSuffix(irFile, ".ir") + ".want")
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			var out, errw bytes.Buffer
+			code := run([]string{"-input", irFile}, &out, &errw)
+			if out.String() != string(want) {
+				t.Errorf("report mismatch:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+			}
+			wantCode := 0
+			if strings.Contains(string(want), "error") && !strings.Contains(string(want), "0 errors,") {
+				wantCode = 1
+			}
+			if code != wantCode {
+				t.Errorf("exit code = %d, want %d", code, wantCode)
+			}
+		})
+	}
+}
+
+// TestDeterministic re-runs the linter many times over the same inputs and
+// requires byte-identical reports: the dataflow engine must not leak map
+// iteration or allocation order into its findings.
+func TestDeterministic(t *testing.T) {
+	irs, _ := filepath.Glob("testdata/*.ir")
+	var first string
+	for i := 0; i < 20; i++ {
+		var out bytes.Buffer
+		for _, irFile := range irs {
+			run([]string{"-input", irFile}, &out, &out)
+		}
+		if i == 0 {
+			first = out.String()
+			continue
+		}
+		if out.String() != first {
+			t.Fatalf("run %d differs from run 0:\n%s", i, out.String())
+		}
+	}
+}
+
+// TestCatalogNoErrors is the CI gate in test form: every catalog app must
+// vet with zero error-severity findings at both the IR and ISA layers.
+func TestCatalogNoErrors(t *testing.T) {
+	for _, spec := range workload.Catalog() {
+		var out, errw bytes.Buffer
+		if code := run([]string{"-app", spec.Name}, &out, &errw); code != 0 {
+			t.Errorf("%s: pcvet exit %d\n%s%s", spec.Name, code, out.String(), errw.String())
+		}
+	}
+}
+
+// TestUsageErrors checks the flag-validation paths exit 2.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no target
+		{"-app", "bst", "-all"},             // two targets
+		{"-input", "x.ir", "stray-arg"},     // positional arg
+		{"-app", "bst", "-bin", "prog.pcb"}, // two targets again
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestBinaryTarget compiles a catalog app to a .pcb and vets the binary:
+// the ISA linter and the embedded-IR linter must both run and agree with
+// the zero-error catalog gate.
+func TestBinaryTarget(t *testing.T) {
+	spec := workload.MustByName("bst")
+	bin, err := spec.CompileProtean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bst.pcb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bin.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-bin", path}, &out, &errw); code != 0 {
+		t.Fatalf("pcvet -bin exit %d\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 errors,") {
+		t.Fatalf("missing summary line:\n%s", out.String())
+	}
+}
+
+// TestReportFile checks -report duplicates the findings into a file.
+func TestReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-app", "bst", "-report", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out.String() {
+		t.Fatalf("report file differs from stdout:\nfile:\n%s\nstdout:\n%s", data, out.String())
+	}
+}
+
+// TestMaxCap checks per-target truncation keeps the summary line intact.
+func TestMaxCap(t *testing.T) {
+	var out, errw bytes.Buffer
+	run([]string{"-input", filepath.Join("testdata", "dead_store.ir"), "-max", "1"}, &out, &errw)
+	s := out.String()
+	if !strings.Contains(s, "and 1 more finding(s)") {
+		t.Errorf("missing truncation notice:\n%s", s)
+	}
+	if !strings.Contains(s, "2 warnings") {
+		t.Errorf("summary must count all findings, not just printed ones:\n%s", s)
+	}
+}

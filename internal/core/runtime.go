@@ -79,11 +79,6 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// Options is the deprecated name for Config.
-//
-// Deprecated: use Config with New. Kept one release for compatibility.
-type Options = Config
-
 func (cfg Config) withDefaults() Config {
 	ms := uint64(cfg.Machine.Config().FreqHz / 1000)
 	if cfg.CompileCycles == 0 {
@@ -199,17 +194,6 @@ func New(cfg Config) (*Runtime, error) {
 	rt.gCodeCacheWords = rt.tel.Gauge("core", "code_cache_words", "instruction words of installed variants")
 	rt.gVariants = rt.tel.Gauge("core", "variants", "generated variants across all functions")
 	return rt, nil
-}
-
-// Attach creates a runtime for host.
-//
-// Deprecated: use New(Config{Machine: m, Host: host, ...}). Kept one
-// release for compatibility.
-func Attach(m *machine.Machine, host *machine.Process, opts Options) (*Runtime, error) {
-	cfg := opts
-	cfg.Machine = m
-	cfg.Host = host
-	return New(cfg)
 }
 
 // Host returns the attached process.

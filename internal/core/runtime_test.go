@@ -34,7 +34,7 @@ func hostModule(t testing.TB) *ir.Module {
 	return mb.MustBuild()
 }
 
-func setup(t testing.TB, opts Options) (*machine.Machine, *machine.Process, *Runtime) {
+func setup(t testing.TB, cfg Config) (*machine.Machine, *machine.Process, *Runtime) {
 	t.Helper()
 	bin, err := pcc.Compile(hostModule(t), pcc.Options{Protean: true})
 	if err != nil {
@@ -45,9 +45,11 @@ func setup(t testing.TB, opts Options) (*machine.Machine, *machine.Process, *Run
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
-	rt, err := Attach(m, host, opts)
+	cfg.Machine = m
+	cfg.Host = host
+	rt, err := New(cfg)
 	if err != nil {
-		t.Fatalf("core.Attach: %v", err)
+		t.Fatalf("core.New: %v", err)
 	}
 	m.AddAgent(rt)
 	return m, host, rt
@@ -60,20 +62,20 @@ func TestAttachRequiresProtean(t *testing.T) {
 	}
 	m := machine.New(machine.Config{Cores: 1})
 	host, _ := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
-	if _, err := Attach(m, host, Options{}); !errors.Is(err, ErrNotProtean) {
+	if _, err := New(Config{Machine: m, Host: host}); !errors.Is(err, ErrNotProtean) {
 		t.Fatalf("Attach error = %v, want ErrNotProtean", err)
 	}
 }
 
 func TestAttachDiscoversIR(t *testing.T) {
-	_, _, rt := setup(t, Options{RuntimeCore: 1})
+	_, _, rt := setup(t, Config{RuntimeCore: 1})
 	if rt.IR() == nil || rt.IR().Func("hot") == nil {
 		t.Fatal("embedded IR not discovered")
 	}
 }
 
 func TestAsyncCompileCompletesAfterLatency(t *testing.T) {
-	m, _, rt := setup(t, Options{RuntimeCore: 1})
+	m, _, rt := setup(t, Config{RuntimeCore: 1})
 	var got *Variant
 	err := rt.RequestVariant("hot", NTTransform(map[int]bool{0: true}), "mask0", func(v *Variant, err error) {
 		if err != nil {
@@ -105,7 +107,7 @@ func TestAsyncCompileCompletesAfterLatency(t *testing.T) {
 }
 
 func TestHostRunsDuringCompile(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Config{RuntimeCore: 1})
 	m.RunQuanta(2)
 	before := host.Counters()
 	done := false
@@ -126,7 +128,7 @@ func TestHostRunsDuringCompile(t *testing.T) {
 }
 
 func TestSameCoreCompileStealsHostCycles(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: SameCore})
+	m, host, rt := setup(t, Config{RuntimeCore: SameCore})
 	m.RunQuanta(2)
 	before := host.Counters()
 	if err := rt.RequestVariant("hot", Identity, nil, nil); err != nil {
@@ -140,7 +142,7 @@ func TestSameCoreCompileStealsHostCycles(t *testing.T) {
 }
 
 func TestDispatchAndRevert(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Config{RuntimeCore: 1})
 	var v *Variant
 	mask := map[int]bool{}
 	for i := 0; i < rt.IR().NumLoads; i++ {
@@ -179,7 +181,7 @@ func TestDispatchAndRevert(t *testing.T) {
 }
 
 func TestDispatchUnvirtualizedFails(t *testing.T) {
-	m, _, rt := setup(t, Options{RuntimeCore: 1})
+	m, _, rt := setup(t, Config{RuntimeCore: 1})
 	var v *Variant
 	if err := rt.RequestVariant("tiny", Identity, nil, func(vv *Variant, err error) { v = vv }); err != nil {
 		t.Fatalf("RequestVariant: %v", err)
@@ -197,7 +199,7 @@ func TestDispatchUnvirtualizedFails(t *testing.T) {
 }
 
 func TestRevertAll(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Config{RuntimeCore: 1})
 	var v *Variant
 	rt.RequestVariant("hot", Identity, nil, func(vv *Variant, err error) { v = vv })
 	m.RunQuanta(10)
@@ -220,14 +222,14 @@ func TestRevertAll(t *testing.T) {
 }
 
 func TestRequestUnknownFunction(t *testing.T) {
-	_, _, rt := setup(t, Options{RuntimeCore: 1})
+	_, _, rt := setup(t, Config{RuntimeCore: 1})
 	if err := rt.RequestVariant("ghost", Identity, nil, nil); err == nil {
 		t.Fatal("RequestVariant accepted unknown function")
 	}
 }
 
 func TestTransformErrorPropagates(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Config{RuntimeCore: 1})
 	want := errors.New("boom")
 	var got error
 	rt.RequestVariant("hot", func(*ir.Module) error { return want }, nil, func(v *Variant, err error) {
@@ -261,7 +263,7 @@ func TestCompileFaultInjection(t *testing.T) {
 		}
 		return nil
 	}
-	m, host, rt := setup(t, Options{RuntimeCore: 1, CompileFault: fault})
+	m, host, rt := setup(t, Config{RuntimeCore: 1, CompileFault: fault})
 	var errs []error
 	for i := 0; i < 3; i++ {
 		if err := rt.RequestVariant("hot", Identity, nil, func(v *Variant, err error) {
@@ -287,7 +289,7 @@ func TestCompileFaultInjection(t *testing.T) {
 }
 
 func TestCrashSemantics(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Config{RuntimeCore: 1})
 	// Dispatch a variant, then queue a compile and crash mid-flight.
 	var v *Variant
 	rt.RequestVariant("hot", Identity, nil, func(vv *Variant, err error) { v = vv })
@@ -336,7 +338,7 @@ func TestCrashSemantics(t *testing.T) {
 }
 
 func TestSerialCompilePipeline(t *testing.T) {
-	m, _, rt := setup(t, Options{RuntimeCore: 1})
+	m, _, rt := setup(t, Config{RuntimeCore: 1})
 	var done []int
 	for i := 0; i < 3; i++ {
 		i := i
@@ -355,7 +357,7 @@ func TestSerialCompilePipeline(t *testing.T) {
 }
 
 func TestCycleAccounting(t *testing.T) {
-	m, _, rt := setup(t, Options{RuntimeCore: 1})
+	m, _, rt := setup(t, Config{RuntimeCore: 1})
 	m.RunQuanta(100)
 	monOnly := rt.CyclesUsed()
 	if monOnly == 0 {
@@ -374,7 +376,7 @@ func TestCycleAccounting(t *testing.T) {
 }
 
 func TestStressRecompiler(t *testing.T) {
-	m, host, rt := setup(t, Options{RuntimeCore: 1})
+	m, host, rt := setup(t, Config{RuntimeCore: 1})
 	ms := uint64(m.Config().FreqHz / 1000)
 	s := NewStressRecompiler(rt, 5*ms, 42)
 	m.AddAgent(s)
@@ -396,7 +398,7 @@ func TestStressRecompiler(t *testing.T) {
 
 func TestStressSameCoreSlowsHost(t *testing.T) {
 	run := func(runtimeCore int, interval uint64) uint64 {
-		m, host, rt := setup(t, Options{RuntimeCore: runtimeCore})
+		m, host, rt := setup(t, Config{RuntimeCore: runtimeCore})
 		s := NewStressRecompiler(rt, interval, 7)
 		m.AddAgent(s)
 		m.RunQuanta(400)

@@ -132,7 +132,7 @@ func (c Chaos) ServerCrashAt(server int, horizonSeconds float64) (atSeconds floa
 }
 
 // CompileFault returns a per-job fault hook compatible with
-// core.Options.CompileFault, or nil when compile faults are disabled. The
+// core.Config.CompileFault, or nil when compile faults are disabled. The
 // decision is pure in (Seed, server, job sequence number, function name).
 func (c Chaos) CompileFault(server int) func(fn string, job uint64) error {
 	if c.CompileFailProb <= 0 {

@@ -1,0 +1,431 @@
+package dataflow
+
+import (
+	"repro/internal/ir"
+)
+
+// instrReads visits the registers an instruction reads, in operand order.
+func instrReads(in ir.Instr, fn func(ir.Reg)) {
+	op := func(o ir.Operand) {
+		if o.IsReg {
+			fn(o.Reg)
+		}
+	}
+	switch in := in.(type) {
+	case *ir.BinOp:
+		op(in.X)
+		op(in.Y)
+	case *ir.Store:
+		op(in.Val)
+	}
+}
+
+// instrDef returns the register an instruction writes, or (0, false).
+func instrDef(in ir.Instr) (ir.Reg, bool) {
+	switch in := in.(type) {
+	case *ir.BinOp:
+		return in.Dst, true
+	case *ir.Const:
+		return in.Dst, true
+	case *ir.Load:
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// termReads visits the registers a terminator reads.
+func termReads(t ir.Terminator, fn func(ir.Reg)) {
+	if br, ok := t.(*ir.Branch); ok {
+		fn(br.X)
+		if br.Y.IsReg {
+			fn(br.Y.Reg)
+		}
+	}
+}
+
+// Liveness holds per-block register liveness for one function. Facts are
+// register numbers in [0, NumRegs).
+type Liveness struct {
+	Fn      *ir.Function
+	CFG     *ir.CFG
+	NumRegs int
+	// In[b] is the set of registers live at entry to block b; Out[b] at
+	// exit (before the terminator's own reads have been consumed — the
+	// terminator's reads are included in Out via the use sets).
+	In, Out []BitSet
+}
+
+// numRegs computes one past the highest register mentioned, without
+// relying on Finalize's MaxReg (the function may be mid-transform).
+func numRegs(f *ir.Function) int {
+	max := 0
+	note := func(r ir.Reg) {
+		if int(r)+1 > max {
+			max = int(r) + 1
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			instrReads(in, note)
+			if d, ok := instrDef(in); ok {
+				note(d)
+			}
+		}
+		termReads(b.Term, note)
+	}
+	return max
+}
+
+// ComputeLiveness runs classic backward may-liveness over the function.
+// Block indices must be current (as after Module.Finalize or a manual
+// reindex).
+func ComputeLiveness(f *ir.Function) *Liveness {
+	cfg := ir.BuildCFG(f)
+	nr := numRegs(f)
+	n := len(f.Blocks)
+
+	// use[b]: registers read before any write in b (terminator included);
+	// def[b]: registers written in b.
+	use := make([]BitSet, n)
+	def := make([]BitSet, n)
+	for i, b := range f.Blocks {
+		u, d := NewBitSet(nr), NewBitSet(nr)
+		upRead := func(r ir.Reg) {
+			if !d.Has(int(r)) {
+				u.Set(int(r))
+			}
+		}
+		for _, in := range b.Instrs {
+			instrReads(in, upRead)
+			if dst, ok := instrDef(in); ok {
+				d.Set(int(dst))
+			}
+		}
+		termReads(b.Term, upRead)
+		use[i], def[i] = u, d
+	}
+
+	res := Solve(Problem{
+		CFG:      cfg,
+		Dir:      Backward,
+		Meet:     Union,
+		NumFacts: nr,
+		Transfer: func(b int, in, out BitSet) {
+			// Backward: in = live-out of b, out = live-in of b.
+			out.CopyFrom(in)
+			out.AndNotWith(def[b])
+			out.UnionWith(use[b])
+		},
+	})
+	return &Liveness{Fn: f, CFG: cfg, NumRegs: nr, In: res.In, Out: res.Out}
+}
+
+// InstrRef names one instruction by block and instruction index.
+type InstrRef struct {
+	Block, Instr int
+}
+
+// DeadDefs returns the pure definitions (Const, BinOp) whose destination
+// register is dead immediately after the definition — cross-block dead
+// stores. Within a block the scan cascades: a definition feeding only
+// dead definitions is itself dead. Results are ordered by block then
+// instruction index.
+func (lv *Liveness) DeadDefs() []InstrRef {
+	var out []InstrRef
+	live := NewBitSet(lv.NumRegs)
+	for bi, b := range lv.Fn.Blocks {
+		if !lv.CFG.Reachable(bi) {
+			continue
+		}
+		live.CopyFrom(lv.Out[bi])
+		termReads(b.Term, func(r ir.Reg) { live.Set(int(r)) })
+		deadHere := make([]int, 0, 4)
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if dst, ok := instrDef(in); ok {
+				pure := false
+				switch in.(type) {
+				case *ir.Const, *ir.BinOp:
+					pure = true
+				}
+				if pure && !live.Has(int(dst)) {
+					// Dead: contributes no defs or uses downstream.
+					deadHere = append(deadHere, i)
+					continue
+				}
+				live.Clear(int(dst))
+			}
+			instrReads(in, func(r ir.Reg) { live.Set(int(r)) })
+		}
+		for i := len(deadHere) - 1; i >= 0; i-- {
+			out = append(out, InstrRef{Block: bi, Instr: deadHere[i]})
+		}
+	}
+	return out
+}
+
+// DefSite is one static register definition.
+type DefSite struct {
+	Block, Instr int
+	Reg          ir.Reg
+}
+
+// ReachingDefs holds the reaching-definitions facts for one function.
+// Facts are indices into Defs.
+type ReachingDefs struct {
+	Fn  *ir.Function
+	CFG *ir.CFG
+	// Defs lists every definition in block-then-instruction order; fact i
+	// means "Defs[i] reaches this point".
+	Defs []DefSite
+	// DefsOf maps a register to its fact indices, ascending.
+	DefsOf map[ir.Reg][]int
+	// BlockDefStart[b] is the fact index of block b's first definition.
+	BlockDefStart []int
+	// In[b]/Out[b] are the definitions reaching block b's entry/exit.
+	In, Out []BitSet
+}
+
+// ComputeReachingDefs runs classic forward may reaching-definitions.
+func ComputeReachingDefs(f *ir.Function) *ReachingDefs {
+	cfg := ir.BuildCFG(f)
+	n := len(f.Blocks)
+
+	var defs []DefSite
+	defsOf := make(map[ir.Reg][]int) // reg -> fact indices, ascending
+	blockStart := make([]int, n+1)
+	for bi, b := range f.Blocks {
+		blockStart[bi] = len(defs)
+		for ii, in := range b.Instrs {
+			if dst, ok := instrDef(in); ok {
+				defsOf[dst] = append(defsOf[dst], len(defs))
+				defs = append(defs, DefSite{Block: bi, Instr: ii, Reg: dst})
+			}
+		}
+	}
+	blockStart[n] = len(defs)
+	nd := len(defs)
+
+	gen := make([]BitSet, n)
+	kill := make([]BitSet, n)
+	for bi := range f.Blocks {
+		g, k := NewBitSet(nd), NewBitSet(nd)
+		// Walk this block's defs in order: each def kills every other def
+		// of its register; the last def of each register is downward
+		// exposed (gen), overriding earlier local kills of itself.
+		for d := blockStart[bi]; d < blockStart[bi+1]; d++ {
+			for _, other := range defsOf[defs[d].Reg] {
+				k.Set(other)
+			}
+			g.Clear(d) // an earlier pass may have genned an earlier def
+		}
+		for d := blockStart[bi]; d < blockStart[bi+1]; d++ {
+			// Downward exposed iff no later def of the same reg in bi.
+			last := true
+			for o := d + 1; o < blockStart[bi+1]; o++ {
+				if defs[o].Reg == defs[d].Reg {
+					last = false
+					break
+				}
+			}
+			if last {
+				g.Set(d)
+				k.Clear(d)
+			}
+		}
+		gen[bi], kill[bi] = g, k
+	}
+
+	res := Solve(Problem{
+		CFG:      cfg,
+		Dir:      Forward,
+		Meet:     Union,
+		NumFacts: nd,
+		Transfer: GenKill(gen, kill),
+	})
+	return &ReachingDefs{
+		Fn: f, CFG: cfg, Defs: defs, DefsOf: defsOf,
+		BlockDefStart: blockStart, In: res.In, Out: res.Out,
+	}
+}
+
+// UninitUse is a register read not preceded by a definition on every path
+// from the function entry.
+type UninitUse struct {
+	Block, Instr int
+	Reg          ir.Reg
+	// Term marks a terminator read; Instr is then len(Block.Instrs).
+	Term bool
+}
+
+// UseBeforeDef returns the register reads in reachable blocks that are not
+// dominated by an assignment — reads that may observe the register's
+// initial value on some path. The analysis is definitely-assigned: forward,
+// intersection meet, empty boundary. Results are ordered by block then
+// instruction index.
+func UseBeforeDef(f *ir.Function) []UninitUse {
+	cfg := ir.BuildCFG(f)
+	nr := numRegs(f)
+	n := len(f.Blocks)
+
+	gen := make([]BitSet, n)
+	for i, b := range f.Blocks {
+		g := NewBitSet(nr)
+		for _, in := range b.Instrs {
+			if dst, ok := instrDef(in); ok {
+				g.Set(int(dst))
+			}
+		}
+		gen[i] = g
+	}
+	kill := make([]BitSet, n)
+	for i := range kill {
+		kill[i] = NewBitSet(nr)
+	}
+
+	res := Solve(Problem{
+		CFG:      cfg,
+		Dir:      Forward,
+		Meet:     Intersect,
+		NumFacts: nr,
+		Transfer: GenKill(gen, kill),
+	})
+
+	var out []UninitUse
+	assigned := NewBitSet(nr)
+	for bi, b := range f.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		assigned.CopyFrom(res.In[bi])
+		for ii, in := range b.Instrs {
+			instrReads(in, func(r ir.Reg) {
+				if !assigned.Has(int(r)) {
+					out = append(out, UninitUse{Block: bi, Instr: ii, Reg: r})
+				}
+			})
+			if dst, ok := instrDef(in); ok {
+				assigned.Set(int(dst))
+			}
+		}
+		termReads(b.Term, func(r ir.Reg) {
+			if !assigned.Has(int(r)) {
+				out = append(out, UninitUse{Block: bi, Instr: len(b.Instrs), Reg: r, Term: true})
+			}
+		})
+	}
+	return out
+}
+
+// blockLoops maps each block index to the innermost loop containing it.
+func blockLoops(lf *ir.LoopForest, n int) []*ir.Loop {
+	inner := make([]*ir.Loop, n)
+	var walk func(l *ir.Loop)
+	walk = func(l *ir.Loop) {
+		for _, b := range l.Blocks {
+			if inner[b] == nil || l.Depth > inner[b].Depth {
+				inner[b] = l
+			}
+		}
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, r := range lf.Roots {
+		walk(r)
+	}
+	return inner
+}
+
+// OperandUse is one register operand read inside a loop whose value is
+// loop-invariant.
+type OperandUse struct {
+	Block, Instr int
+	Reg          ir.Reg
+	// LoopHeader is the header block index of the innermost enclosing loop.
+	LoopHeader int
+	// Term marks a terminator read; Instr is then len(Block.Instrs).
+	Term bool
+}
+
+// LoopInvariantUses returns register reads inside loops whose value cannot
+// change across iterations of the innermost enclosing loop: every
+// definition reaching the use lies outside that loop. Results are ordered
+// by block then instruction index.
+func LoopInvariantUses(f *ir.Function, lf *ir.LoopForest, rd *ReachingDefs) []OperandUse {
+	n := len(f.Blocks)
+	inner := blockLoops(lf, n)
+
+	inLoop := make([]map[int]bool, n)
+	for b := 0; b < n; b++ {
+		if l := inner[b]; l != nil {
+			set := make(map[int]bool, len(l.Blocks))
+			for _, lb := range l.Blocks {
+				set[lb] = true
+			}
+			inLoop[b] = set
+		}
+	}
+
+	var out []OperandUse
+	reach := NewBitSet(len(rd.Defs))
+	for bi, b := range f.Blocks {
+		loop := inner[bi]
+		if loop == nil || !rd.CFG.Reachable(bi) {
+			continue
+		}
+		body := inLoop[bi]
+		reach.CopyFrom(rd.In[bi])
+		check := func(r ir.Reg, ii int, term bool) {
+			invariant := true
+			any := false
+			reach.ForEach(func(d int) {
+				if rd.Defs[d].Reg != r {
+					return
+				}
+				any = true
+				if body[rd.Defs[d].Block] {
+					invariant = false
+				}
+			})
+			if any && invariant {
+				out = append(out, OperandUse{Block: bi, Instr: ii, Reg: r, LoopHeader: loop.Header, Term: term})
+			}
+		}
+		di := rd.BlockDefStart[bi]
+		for ii, in := range b.Instrs {
+			instrReads(in, func(r ir.Reg) { check(r, ii, false) })
+			if dst, ok := instrDef(in); ok {
+				// Kill all other defs of dst, gen this one.
+				for _, d := range rd.DefsOf[dst] {
+					reach.Clear(d)
+				}
+				reach.Set(di)
+				di++
+			}
+		}
+		termReads(b.Term, func(r ir.Reg) { check(r, len(b.Instrs), true) })
+	}
+	return out
+}
+
+// InvariantAddressLoads returns the load IDs of loads that sit inside a
+// loop and whose address stream is loop-invariant (a pinned access
+// pattern). Such loads touch the same cache line every iteration: after
+// the first touch the line is resident, so they are useless prefetch
+// candidates and actively bad non-temporal candidates. PC3D prunes them
+// from the search space. Finalize must have assigned load IDs.
+func InvariantAddressLoads(f *ir.Function, lf *ir.LoopForest) map[int]bool {
+	out := make(map[int]bool)
+	for bi, b := range f.Blocks {
+		if lf.Depth(bi) == 0 {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if ld, ok := in.(*ir.Load); ok && ld.Acc.Invariant() {
+				out[ld.ID] = true
+			}
+		}
+	}
+	return out
+}

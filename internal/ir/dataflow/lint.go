@@ -1,0 +1,176 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Lint runs the semantic checks over a finalized module and returns the
+// findings in deterministic order (function declaration order, then rule,
+// then block/instruction position). Lint assumes the module passes
+// ir.Verify; run it after Module.Finalize.
+//
+// Rules and severities:
+//
+//	use-before-def         error  a register read may observe its initial
+//	                              value on some path (forward must-analysis)
+//	dead-store             warn   a pure definition whose result is dead on
+//	                              every path (backward liveness)
+//	unreachable-block      warn   a block no path from the entry reaches
+//	redundant-prefetch     warn   a prefetch that cannot add locality: its
+//	                              address is loop-invariant, or it repeats
+//	                              the previous touch of the same site
+//	nt-hint-invariant      warn   a non-temporal hint on a loop-invariant
+//	                              address: evicts the one line that is reused
+//	invariant-address-load info   an in-loop load with a loop-invariant
+//	                              address (PC3D prunes these candidates)
+//	uncalled-function      info   a function that is neither the entry nor
+//	                              called anywhere
+//	never-returns          info   no return is reachable from the function
+//	                              entry (expected for service loops)
+//
+// The severity split mirrors pcc's gate: errors make the module unfit to
+// compile, warnings survive compilation but deserve a look, infos are facts
+// a policy or human can act on.
+func Lint(m *ir.Module) ir.Diags {
+	var ds ir.Diags
+
+	called := make(map[string]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if c, ok := in.(*ir.Call); ok {
+					called[c.Callee] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range m.Funcs {
+		ds = append(ds, lintFunc(m, f)...)
+		if f.Name != m.EntryFn && !called[f.Name] {
+			ds = append(ds, ir.Diag{
+				Sev:  ir.SevInfo,
+				Rule: "uncalled-function",
+				Pos:  ir.Pos{Module: m.Name, Func: f.Name, Instr: ir.NoInstr},
+				Msg:  "function is neither the entry point nor called",
+			})
+		}
+	}
+	return ds
+}
+
+func lintFunc(m *ir.Module, f *ir.Function) ir.Diags {
+	var ds ir.Diags
+	pos := func(b *ir.Block, instr int) ir.Pos {
+		return ir.Pos{Module: m.Name, Func: f.Name, Block: b.Name, Instr: instr}
+	}
+
+	cfg := ir.BuildCFG(f)
+	lf := ir.BuildLoopForest(f)
+
+	// use-before-def: may-uninitialized reads (error).
+	for _, u := range UseBeforeDef(f) {
+		b := f.Blocks[u.Block]
+		p := pos(b, u.Instr)
+		if u.Term {
+			p.Instr = ir.NoInstr
+			p.Term = true
+		}
+		ds = append(ds, ir.Diag{
+			Sev: ir.SevError, Rule: "use-before-def", Pos: p,
+			Msg: fmt.Sprintf("r%d may be read before assignment", u.Reg),
+		})
+	}
+
+	// dead-store: pure defs whose result is never used (warn).
+	lv := ComputeLiveness(f)
+	for _, d := range lv.DeadDefs() {
+		b := f.Blocks[d.Block]
+		in := b.Instrs[d.Instr]
+		dst, _ := instrDef(in)
+		ds = append(ds, ir.Diag{
+			Sev: ir.SevWarn, Rule: "dead-store", Pos: pos(b, d.Instr),
+			Msg: fmt.Sprintf("value of r%d is never used (%s)", dst, in),
+		})
+	}
+
+	// unreachable-block (warn).
+	for bi, b := range f.Blocks {
+		if !cfg.Reachable(bi) {
+			ds = append(ds, ir.Diag{
+				Sev: ir.SevWarn, Rule: "unreachable-block",
+				Pos: ir.Pos{Module: m.Name, Func: f.Name, Block: b.Name, Instr: ir.NoInstr},
+				Msg: "no path from the entry reaches this block",
+			})
+		}
+	}
+
+	// Memory-hint rules over the access descriptors.
+	for bi, b := range f.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		inLoop := lf.Depth(bi) > 0
+		// prevMem is the MemID touched by the previous instruction, for
+		// back-to-back redundancy.
+		prevMem := 0
+		for ii, in := range b.Instrs {
+			mem := 0
+			switch in := in.(type) {
+			case *ir.Load:
+				mem = in.MemID
+				if in.Acc.Invariant() && inLoop {
+					if in.NT {
+						ds = append(ds, ir.Diag{
+							Sev: ir.SevWarn, Rule: "nt-hint-invariant", Pos: pos(b, ii),
+							Msg: fmt.Sprintf("non-temporal hint on loop-invariant address %s: the hinted line is reused every iteration", in.Acc),
+						})
+					} else {
+						ds = append(ds, ir.Diag{
+							Sev: ir.SevInfo, Rule: "invariant-address-load", Pos: pos(b, ii),
+							Msg: fmt.Sprintf("load #%d address %s is loop-invariant: useless prefetch candidate", in.ID, in.Acc),
+						})
+					}
+				}
+			case *ir.Store:
+				mem = in.MemID
+			case *ir.Prefetch:
+				mem = in.MemID
+				switch {
+				case in.Acc.Invariant() && inLoop:
+					ds = append(ds, ir.Diag{
+						Sev: ir.SevWarn, Rule: "redundant-prefetch", Pos: pos(b, ii),
+						Msg: fmt.Sprintf("prefetch of loop-invariant address %s re-touches a resident line every iteration", in.Acc),
+					})
+				case mem != 0 && mem == prevMem && in.Lead == 0:
+					ds = append(ds, ir.Diag{
+						Sev: ir.SevWarn, Rule: "redundant-prefetch", Pos: pos(b, ii),
+						Msg: fmt.Sprintf("prefetch repeats the previous touch of %s with no lead distance", in.Acc),
+					})
+				}
+			}
+			prevMem = mem
+		}
+	}
+
+	// never-returns: no reachable return (info).
+	returns := false
+	for bi, b := range f.Blocks {
+		if cfg.Reachable(bi) {
+			if _, ok := b.Term.(*ir.Return); ok {
+				returns = true
+				break
+			}
+		}
+	}
+	if !returns {
+		ds = append(ds, ir.Diag{
+			Sev: ir.SevInfo, Rule: "never-returns",
+			Pos: ir.Pos{Module: m.Name, Func: f.Name, Instr: ir.NoInstr},
+			Msg: "no return is reachable from the entry (service loop?)",
+		})
+	}
+	return ds
+}

@@ -114,9 +114,15 @@ const (
 	// Hot draws most accesses from a small hot subset of the region and the
 	// rest uniformly; good temporal locality on the hot set.
 	Hot
+	// Pin reads the same fixed address (the region base) on every dynamic
+	// execution — the address-stream form of a loop-invariant address
+	// operand, e.g. a scalar flag or descriptor re-read each iteration.
+	// Perfect temporal locality: the line is hot after the first touch, so
+	// prefetching it is useless and a non-temporal hint is actively harmful.
+	Pin
 )
 
-var patNames = [...]string{"seq", "rand", "chase", "hot"}
+var patNames = [...]string{"seq", "rand", "chase", "hot", "pin"}
 
 func (p Pattern) String() string {
 	if int(p) < len(patNames) {
@@ -137,6 +143,10 @@ type Access struct {
 	// HotBytes is the hot subset size for Hot (bytes). 0 defaults to 4096.
 	HotBytes int64
 }
+
+// Invariant reports whether the access stream touches a single fixed
+// address, i.e. the address operand is invariant across dynamic executions.
+func (a Access) Invariant() bool { return a.Pattern == Pin }
 
 func (a Access) String() string {
 	s := fmt.Sprintf("%s[%s", a.Global, a.Pattern)

@@ -300,6 +300,8 @@ func (p *parser) access(tok string) (ir.Access, error) {
 		a.Pattern = ir.Chase
 	case "hot":
 		a.Pattern = ir.Hot
+	case "pin":
+		a.Pattern = ir.Pin
 	default:
 		return ir.Access{}, p.errf("unknown pattern %q", inner[0])
 	}

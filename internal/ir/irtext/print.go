@@ -23,7 +23,7 @@
 //	}
 //
 // where <access> is <global>[<pattern> key=value ...] with patterns
-// seq|rand|chase|hot and optional stride=<n> / hot=<n> parameters, and
+// seq|rand|chase|hot|pin and optional stride=<n> / hot=<n> parameters, and
 // <operand> is r<N> or an integer literal.
 package irtext
 

@@ -1,0 +1,93 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/ir/irtext"
+)
+
+// TestCrossBlockDCE: r2 is defined in the entry but overwritten on every
+// path before any read, so the entry definition is dead even though r2 IS
+// read later. The old "read anywhere in the function" scan kept it; the
+// liveness-based pass must not.
+func TestCrossBlockDCE(t *testing.T) {
+	m, err := irtext.ParseString(`
+module xblock
+entry main
+global buf 4096
+func main {
+  entry:
+    r1 = load buf[seq stride=64]
+    r2 = mul r1, 100
+    br r1 gt 0, %then, %else
+  then:
+    r2 = const 7
+    jump %join
+  else:
+    r2 = const 8
+    jump %join
+  join:
+    r3 = add r2, 1
+    store r3, buf[seq stride=64]
+    ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dynCounts(t, m)
+	stats := Optimize(m)
+	if stats.RemovedInstrs < 1 {
+		t.Fatalf("shadowed cross-block def survived: %+v", stats)
+	}
+	entry := m.Func("main").Blocks[0]
+	for _, in := range entry.Instrs {
+		if b, ok := in.(*ir.BinOp); ok && b.Dst == 2 {
+			t.Fatalf("entry still defines r2: %s", b)
+		}
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	after := dynCounts(t, m)
+	if before.Completions != after.Completions || before.Stores != after.Stores {
+		t.Fatalf("semantics changed: before %+v after %+v", before, after)
+	}
+}
+
+// TestPartiallyLiveDefSurvives: a def read on only one of two paths is
+// still live at its definition and must be kept.
+func TestPartiallyLiveDefSurvives(t *testing.T) {
+	m, err := irtext.ParseString(`
+module partial
+entry main
+global buf 4096
+func main {
+  entry:
+    r1 = load buf[seq stride=64]
+    r2 = mul r1, 3
+    br r1 gt 0, %uses, %skips
+  uses:
+    store r2, buf[seq stride=64]
+    ret
+  skips:
+    store r1, buf[seq stride=64]
+    ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(m)
+	entry := m.Func("main").Blocks[0]
+	found := false
+	for _, in := range entry.Instrs {
+		if b, ok := in.(*ir.BinOp); ok && b.Dst == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("partially live def of r2 was removed")
+	}
+}

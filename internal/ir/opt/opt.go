@@ -11,8 +11,10 @@
 //     folding decidable conditional branches into jumps,
 //   - jump threading: empty forwarding blocks are bypassed,
 //   - unreachable-block elimination,
-//   - dead-code elimination of pure instructions whose results are never
-//     read.
+//   - dead-code elimination on backward liveness (internal/ir/dataflow):
+//     pure instructions whose results are dead on every path are removed,
+//     including cross-block dead code the old whole-function read-set scan
+//     could not see.
 //
 // Optimization is opt-in at the pcc level: the synthetic workload catalog
 // encodes compute padding as dead ALU chains, which these passes would
@@ -21,6 +23,7 @@ package opt
 
 import (
 	"repro/internal/ir"
+	"repro/internal/ir/dataflow"
 )
 
 // Stats counts what the pipeline did.
@@ -199,41 +202,38 @@ func removeUnreachable(f *ir.Function) Stats {
 }
 
 // eliminateDead removes pure instructions (Const, BinOp) whose destination
-// register is never read anywhere in the function.
+// register is dead immediately after the definition, using backward
+// liveness from internal/ir/dataflow. Unlike the old whole-function
+// read-set scan this catches cross-block dead code: a value overwritten on
+// every path before any read is dead even though the register is read
+// somewhere else in the function. Everything the old pass removed is still
+// removed — never-read registers are live nowhere — so removal counts only
+// go up. The pipeline's fixpoint loop picks up cascades the single
+// liveness pass leaves behind.
 func eliminateDead(f *ir.Function) Stats {
 	var s Stats
-	read := map[ir.Reg]bool{}
-	markOp := func(o ir.Operand) {
-		if o.IsReg {
-			read[o.Reg] = true
-		}
+	for i, b := range f.Blocks {
+		b.Index = i // earlier passes may have removed blocks
 	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			switch in := in.(type) {
-			case *ir.BinOp:
-				markOp(in.X)
-				markOp(in.Y)
-			case *ir.Store:
-				markOp(in.Val)
-			}
+	lv := dataflow.ComputeLiveness(f)
+	// Collect per-block dead instruction indices, then rebuild.
+	deadAt := make(map[int]map[int]bool)
+	for _, d := range lv.DeadDefs() {
+		set := deadAt[d.Block]
+		if set == nil {
+			set = make(map[int]bool)
+			deadAt[d.Block] = set
 		}
-		if br, ok := b.Term.(*ir.Branch); ok {
-			read[br.X] = true
-			markOp(br.Y)
-		}
+		set[d.Instr] = true
 	}
-	for _, b := range f.Blocks {
-		var kept []ir.Instr
-		for _, in := range b.Instrs {
-			dead := false
-			switch in := in.(type) {
-			case *ir.Const:
-				dead = !read[in.Dst]
-			case *ir.BinOp:
-				dead = !read[in.Dst]
-			}
-			if dead {
+	for bi, b := range f.Blocks {
+		set := deadAt[bi]
+		if len(set) == 0 {
+			continue
+		}
+		kept := b.Instrs[:0]
+		for ii, in := range b.Instrs {
+			if set[ii] {
 				s.RemovedInstrs++
 			} else {
 				kept = append(kept, in)

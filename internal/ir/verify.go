@@ -8,8 +8,8 @@ import (
 // ErrInvalid is wrapped by all verification failures.
 var ErrInvalid = errors.New("ir: invalid module")
 
-func verifyErr(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+func verifyErr(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrInvalid, pos, fmt.Sprintf(format, args...))
 }
 
 // Verify checks structural well-formedness:
@@ -19,39 +19,45 @@ func verifyErr(format string, args ...any) error {
 //   - branch/jump targets belong to the same function,
 //   - calls name functions that exist in the module,
 //   - memory instructions reference declared globals,
+//   - access descriptors have non-negative stride and hot-set sizes,
 //   - globals have positive sizes.
+//
+// Failures carry full location context (module → function → block →
+// instruction index) so a pcc -input error points at the offending line of
+// textual IR.
 func (m *Module) Verify() error {
+	mpos := Pos{Module: m.Name, Instr: NoInstr}
 	if m.Name == "" {
-		return verifyErr("module has no name")
+		return verifyErr(Pos{Instr: NoInstr}, "module has no name")
 	}
 	globals := make(map[string]bool, len(m.Globals))
 	for _, g := range m.Globals {
 		if g.Name == "" {
-			return verifyErr("global with empty name")
+			return verifyErr(mpos, "global with empty name")
 		}
 		if globals[g.Name] {
-			return verifyErr("duplicate global %q", g.Name)
+			return verifyErr(mpos, "duplicate global %q", g.Name)
 		}
 		if g.Size <= 0 {
-			return verifyErr("global %q has non-positive size %d", g.Name, g.Size)
+			return verifyErr(mpos, "global %q has non-positive size %d", g.Name, g.Size)
 		}
 		globals[g.Name] = true
 	}
 	funcs := make(map[string]bool, len(m.Funcs))
 	for _, f := range m.Funcs {
 		if f.Name == "" {
-			return verifyErr("function with empty name")
+			return verifyErr(mpos, "function with empty name")
 		}
 		if funcs[f.Name] {
-			return verifyErr("duplicate function %q", f.Name)
+			return verifyErr(mpos, "duplicate function %q", f.Name)
 		}
 		funcs[f.Name] = true
 	}
 	if m.EntryFn == "" {
-		return verifyErr("module has no entry function")
+		return verifyErr(mpos, "module has no entry function")
 	}
 	if !funcs[m.EntryFn] {
-		return verifyErr("entry function %q not defined", m.EntryFn)
+		return verifyErr(mpos, "entry function %q not defined", m.EntryFn)
 	}
 	for _, f := range m.Funcs {
 		if err := m.verifyFunc(f, globals, funcs); err != nil {
@@ -62,63 +68,69 @@ func (m *Module) Verify() error {
 }
 
 func (m *Module) verifyFunc(f *Function, globals, funcs map[string]bool) error {
+	fpos := Pos{Module: m.Name, Func: f.Name, Instr: NoInstr}
 	if len(f.Blocks) == 0 {
-		return verifyErr("function %q has no blocks", f.Name)
+		return verifyErr(fpos, "function has no blocks")
 	}
 	own := make(map[*Block]bool, len(f.Blocks))
 	names := make(map[string]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
 		if b.Name == "" {
-			return verifyErr("function %q has a block with empty name", f.Name)
+			return verifyErr(fpos, "block with empty name")
 		}
 		if names[b.Name] {
-			return verifyErr("function %q has duplicate block %q", f.Name, b.Name)
+			return verifyErr(fpos, "duplicate block %q", b.Name)
 		}
 		names[b.Name] = true
 		own[b] = true
 	}
-	checkAcc := func(where string, a Access) error {
+	checkAcc := func(pos Pos, what string, a Access) error {
 		if !globals[a.Global] {
-			return verifyErr("function %q: %s references undeclared global %q", f.Name, where, a.Global)
+			return verifyErr(pos, "%s references undeclared global %q", what, a.Global)
 		}
 		if a.Stride < 0 {
-			return verifyErr("function %q: %s has negative stride", f.Name, where)
+			return verifyErr(pos, "%s has negative stride %d", what, a.Stride)
+		}
+		if a.HotBytes < 0 {
+			return verifyErr(pos, "%s has negative hot-set size %d", what, a.HotBytes)
 		}
 		return nil
 	}
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for i, in := range b.Instrs {
+			pos := Pos{Module: m.Name, Func: f.Name, Block: b.Name, Instr: i}
 			switch in := in.(type) {
 			case *Load:
-				if err := checkAcc("load", in.Acc); err != nil {
+				if err := checkAcc(pos, "load", in.Acc); err != nil {
 					return err
 				}
 			case *Store:
-				if err := checkAcc("store", in.Acc); err != nil {
+				if err := checkAcc(pos, "store", in.Acc); err != nil {
 					return err
 				}
 			case *Prefetch:
-				if err := checkAcc("prefetch", in.Acc); err != nil {
+				if err := checkAcc(pos, "prefetch", in.Acc); err != nil {
 					return err
 				}
 			case *Call:
 				if !funcs[in.Callee] {
-					return verifyErr("function %q calls undefined function %q", f.Name, in.Callee)
+					return verifyErr(pos, "call to undefined function %q", in.Callee)
 				}
 			case *BinOp, *Const:
 			default:
-				return verifyErr("function %q block %q: unknown instruction %T", f.Name, b.Name, in)
+				return verifyErr(pos, "unknown instruction %T", in)
 			}
 		}
+		tpos := Pos{Module: m.Name, Func: f.Name, Block: b.Name, Instr: NoInstr, Term: true}
 		if b.Term == nil {
-			return verifyErr("function %q block %q has no terminator", f.Name, b.Name)
+			return verifyErr(tpos, "block has no terminator")
 		}
 		for _, s := range b.Term.Successors() {
 			if s == nil {
-				return verifyErr("function %q block %q has nil successor", f.Name, b.Name)
+				return verifyErr(tpos, "nil successor")
 			}
 			if !own[s] {
-				return verifyErr("function %q block %q targets block %q outside the function", f.Name, b.Name, s.Name)
+				return verifyErr(tpos, "targets block %q outside the function", s.Name)
 			}
 		}
 	}

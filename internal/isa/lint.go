@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// LintProgram runs semantic checks over a lowered program that go beyond
+// VerifyProgram's structural invariants. Positions use the lowered PC
+// (ir.Pos with Block empty and Instr = PC). Rules and severities:
+//
+//	evt-slot-stale        error  an EVT slot's initial target is not the
+//	                             variant-0 entry of its callee: the pristine
+//	                             image would dispatch into variant code
+//	call-not-entry        error  a direct call lands mid-function
+//	evt-slot-unused       warn   no call site dispatches through the slot
+//	mixed-dispatch        warn   a callee is reached both directly and via
+//	                             the EVT: runtime retargeting would miss the
+//	                             direct edges (Section III-A-1 requires every
+//	                             rewritable edge to be virtualized)
+//	prefetchnta-pinned    warn   a non-temporal prefetch of a pinned address
+//	                             evicts the one line that is reused
+//	prefetch-redundant    warn   back-to-back prefetches of the same site
+//	                             with no lead distance
+//	prefetch-lead-nonseq  warn   a lead distance on a non-sequential stream
+//	                             has no "ahead" to warm
+//
+// Findings come out in PC order (rule order within one PC follows the
+// checks above), so reports are deterministic.
+func LintProgram(p *Program) ir.Diags {
+	var ds ir.Diags
+
+	add := func(sev ir.Severity, rule string, fn string, pc int, format string, args ...any) {
+		ds = append(ds, ir.Diag{
+			Sev:  sev,
+			Rule: rule,
+			Pos:  ir.Pos{Module: p.Name, Func: fn, Instr: pc},
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	funcName := func(pc int) string {
+		if f, ok := p.FuncAt(pc); ok {
+			return f.Name
+		}
+		return ""
+	}
+
+	// Per-slot and per-callee dispatch accounting.
+	slotUsed := make([]bool, len(p.EVT))
+	directCalled := make(map[int][]int) // entry PC -> call-site PCs
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case OpCall:
+			if f, ok := p.FuncAt(in.Target); !ok || f.Entry != in.Target {
+				add(ir.SevError, "call-not-entry", funcName(pc), pc,
+					"direct call targets pc %d, which is not a function entry", in.Target)
+			} else {
+				directCalled[f.Entry] = append(directCalled[f.Entry], pc)
+			}
+		case OpCallEVT:
+			if in.EVTSlot >= 0 && in.EVTSlot < len(slotUsed) {
+				slotUsed[in.EVTSlot] = true
+			}
+		}
+	}
+
+	for i, e := range p.EVT {
+		fi, ok := p.FuncByName(e.Callee)
+		if !ok || fi.Entry != e.Target {
+			add(ir.SevError, "evt-slot-stale", e.Callee, ir.NoInstr,
+				"EVT slot %d for %q targets pc %d, not the static entry", i, e.Callee, e.Target)
+			continue
+		}
+		if !slotUsed[i] {
+			add(ir.SevWarn, "evt-slot-unused", e.Callee, ir.NoInstr,
+				"EVT slot %d for %q has no call sites", i, e.Callee)
+		}
+		if sites := directCalled[fi.Entry]; len(sites) > 0 {
+			add(ir.SevWarn, "mixed-dispatch", e.Callee, sites[0],
+				"%q is virtualized (EVT slot %d) but %d call site(s) bypass the table",
+				e.Callee, i, len(sites))
+		}
+	}
+
+	// Prefetch legality and redundancy, per function so straight-line
+	// adjacency never crosses a function boundary.
+	for _, f := range p.Funcs {
+		prevSite := -1
+		for pc := f.Entry; pc < f.End; pc++ {
+			in := &p.Code[pc]
+			site := -1
+			switch in.Op {
+			case OpPrefetch:
+				site = in.Gen.Site
+				if in.NT && in.Gen.Pattern == ir.Pin {
+					add(ir.SevWarn, "prefetchnta-pinned", f.Name, pc,
+						"prefetchnta on pinned site %d: the non-temporal hint evicts a line reused every execution", in.Gen.Site)
+				}
+				if in.Lead != 0 && in.Gen.Pattern != ir.Seq {
+					add(ir.SevWarn, "prefetch-lead-nonseq", f.Name, pc,
+						"lead distance %d on %s-pattern site %d has no stream position to run ahead of", in.Lead, in.Gen.Pattern, in.Gen.Site)
+				}
+				if in.Lead == 0 && site == prevSite {
+					add(ir.SevWarn, "prefetch-redundant", f.Name, pc,
+						"prefetch repeats the previous touch of site %d with no lead distance", in.Gen.Site)
+				}
+			case OpLoad, OpStore:
+				site = in.Gen.Site
+			}
+			prevSite = site
+		}
+	}
+	return ds
+}

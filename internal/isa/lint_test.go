@@ -1,0 +1,166 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/ir/irtext"
+	"repro/internal/isa"
+)
+
+// lowerSrc parses and lowers a textual module with every callee
+// virtualized, returning a fresh program per call so tests can mutate it.
+func lowerSrc(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	m, err := irtext.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := isa.Lower(m, isa.Config{
+		Virtualize: func(m *ir.Module, f *ir.Function) bool { return f.Name != m.EntryFn },
+	})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+const callSrc = `
+module calls
+entry main
+global buf 65536
+func main {
+  entry:
+    call @helper
+    ret
+}
+func helper {
+  entry:
+    r1 = load buf[seq stride=64]
+    store r1, buf[seq stride=64]
+    ret
+}
+`
+
+func lintRules(ds ir.Diags) map[string]int {
+	out := make(map[string]int)
+	for _, d := range ds {
+		out[d.Rule]++
+	}
+	return out
+}
+
+func TestLintProgramClean(t *testing.T) {
+	p := lowerSrc(t, callSrc)
+	if ds := isa.LintProgram(p); len(ds) != 0 {
+		t.Fatalf("clean program produced findings: %v", ds)
+	}
+}
+
+func TestLintEVTSlotStale(t *testing.T) {
+	p := lowerSrc(t, callSrc)
+	p.EVT[0].Target++ // point the slot past the callee's entry
+	ds := isa.LintProgram(p)
+	if lintRules(ds)["evt-slot-stale"] != 1 {
+		t.Fatalf("want one evt-slot-stale error, got %v", ds)
+	}
+	if ds.Errors() != 1 {
+		t.Fatalf("stale slot must be error severity: %v", ds)
+	}
+}
+
+func TestLintDirectCallBypassesEVT(t *testing.T) {
+	p := lowerSrc(t, callSrc)
+	// Devirtualize the call site by hand: the slot loses its only user and
+	// the callee gains a direct edge the runtime cannot retarget.
+	rewrote := false
+	fi, _ := p.FuncByName("helper")
+	for pc := range p.Code {
+		if p.Code[pc].Op == isa.OpCallEVT {
+			p.Code[pc] = isa.Inst{Op: isa.OpCall, Target: fi.Entry}
+			rewrote = true
+		}
+	}
+	if !rewrote {
+		t.Fatal("no OpCallEVT found to rewrite")
+	}
+	got := lintRules(isa.LintProgram(p))
+	if got["evt-slot-unused"] != 1 || got["mixed-dispatch"] != 1 {
+		t.Fatalf("want evt-slot-unused + mixed-dispatch, got %v", got)
+	}
+}
+
+func TestLintCallNotEntry(t *testing.T) {
+	p := lowerSrc(t, callSrc)
+	fi, _ := p.FuncByName("helper")
+	for pc := range p.Code {
+		if p.Code[pc].Op == isa.OpCallEVT {
+			p.Code[pc] = isa.Inst{Op: isa.OpCall, Target: fi.Entry + 1}
+		}
+	}
+	ds := isa.LintProgram(p)
+	d := ds[0]
+	if d.Rule != "call-not-entry" || d.Sev != ir.SevError {
+		t.Fatalf("want call-not-entry error first, got %v", ds)
+	}
+	if !strings.Contains(d.Pos.String(), "pc #") {
+		t.Errorf("ISA finding should locate by pc: %s", d)
+	}
+}
+
+func TestLintPrefetchRules(t *testing.T) {
+	p := lowerSrc(t, `
+module pf
+entry main
+global buf 1048576
+func main {
+  entry:
+    prefetch buf[pin] !nt
+    prefetch buf[rand] lead=8
+    r1 = load buf[seq stride=64]
+    store r1, buf[seq stride=64]
+    ret
+}
+`)
+	got := lintRules(isa.LintProgram(p))
+	if got["prefetchnta-pinned"] != 1 {
+		t.Errorf("want prefetchnta-pinned, got %v", got)
+	}
+	if got["prefetch-lead-nonseq"] != 1 {
+		t.Errorf("want prefetch-lead-nonseq, got %v", got)
+	}
+}
+
+func TestLintPrefetchRedundant(t *testing.T) {
+	p := lowerSrc(t, `
+module pf2
+entry main
+global buf 1048576
+func main {
+  entry:
+    prefetch buf[seq stride=64]
+    prefetch buf[seq stride=64]
+    r1 = load buf[seq stride=64]
+    store r1, buf[seq stride=64]
+    ret
+}
+`)
+	// Distinct textual prefetches lower to distinct sites; collapse them to
+	// model a transform pass that duplicated a touch.
+	var first *isa.Inst
+	for pc := range p.Code {
+		if p.Code[pc].Op != isa.OpPrefetch {
+			continue
+		}
+		if first == nil {
+			first = &p.Code[pc]
+			continue
+		}
+		p.Code[pc].Gen = first.Gen
+	}
+	got := lintRules(isa.LintProgram(p))
+	if got["prefetch-redundant"] != 1 {
+		t.Fatalf("want one prefetch-redundant, got %v", got)
+	}
+}

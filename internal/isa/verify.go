@@ -158,7 +158,7 @@ func verifyGen(g AddrGen, pc int) error {
 		return progErr("pc %d: address generator with zero region size", pc)
 	}
 	switch g.Pattern {
-	case 0, 1, 2, 3: // ir.Seq..ir.Hot
+	case 0, 1, 2, 3, 4: // ir.Seq..ir.Pin
 	default:
 		return progErr("pc %d: unknown address pattern %d", pc, g.Pattern)
 	}

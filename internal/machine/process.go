@@ -637,6 +637,10 @@ func (p *Process) address(g *isa.AddrGen) uint64 {
 		} else {
 			off = (r >> 8) % g.Size &^ 7
 		}
+	case ir.Pin:
+		// Loop-invariant address: every execution re-touches the region
+		// base. No cursor state to advance.
+		off = 0
 	}
 	return p.base + g.Base + off
 }

@@ -181,6 +181,21 @@ func TestAddressPatterns(t *testing.T) {
 	}
 }
 
+func TestPinPattern(t *testing.T) {
+	p := addrProc(t)
+	p.sites = make([]siteState, 1)
+	pin := isa.AddrGen{Base: 0x1000, Size: 1 << 16, Pattern: ir.Pin, Site: 0}
+	want := p.base + 0x1000
+	for i := 0; i < 10; i++ {
+		if a := p.address(&pin); a != want {
+			t.Fatalf("Pin draw %d: %x, want the region base %x every time", i, a, want)
+		}
+	}
+	if p.sites[0].cursor != 0 {
+		t.Errorf("Pin mutated cursor state: %d", p.sites[0].cursor)
+	}
+}
+
 func TestProcessAccessors(t *testing.T) {
 	bin := compile(t, streamModule(t, "acc", 1<<16), true)
 	m := New(Config{Cores: 2})

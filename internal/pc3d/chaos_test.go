@@ -49,7 +49,7 @@ func TestSupervisedCrashMidSearch(t *testing.T) {
 	r := buildBareRig(t, "er-naive", "libquantum")
 	var ctrls []*Controller
 	build := func() (*supervise.Session, error) {
-		rt, err := core.Attach(r.m, r.host, core.Options{RuntimeCore: 2})
+		rt, err := core.New(core.Config{Machine: r.m, Host: r.host, RuntimeCore: 2})
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +60,7 @@ func TestSupervisedCrashMidSearch(t *testing.T) {
 	// Crash exactly once: on the first quantum where the search has a
 	// variant dispatched (EVT rewritten away from static code).
 	crashed := false
-	sup, err := supervise.New(r.m, r.host, build, supervise.Options{
+	sup, err := supervise.New(r.m, r.host, build, supervise.Config{
 		CrashFn: func(uint64) bool {
 			if !crashed && !supervise.AllStatic(r.host) {
 				crashed = true
@@ -151,9 +151,9 @@ func TestPC3DSurvivesCompileFaults(t *testing.T) {
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}
-	rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2, CompileFault: chaos.CompileFault(0)})
+	rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 2, CompileFault: chaos.CompileFault(0)})
 	if err != nil {
-		t.Fatalf("core.Attach: %v", err)
+		t.Fatalf("core.New: %v", err)
 	}
 	m.AddAgent(rt)
 	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)

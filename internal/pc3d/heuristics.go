@@ -2,6 +2,7 @@ package pc3d
 
 import (
 	"repro/internal/ir"
+	"repro/internal/ir/dataflow"
 	"repro/internal/sampling"
 )
 
@@ -19,6 +20,13 @@ type SearchSpace struct {
 	// covered loads at the maximum loop nesting depth of their function,
 	// ordered by function hotness (descending) then load ID.
 	Sites []int
+	// Invariant lists the max-depth load IDs pruned because dataflow
+	// analysis proved their address operand loop-invariant: the load
+	// re-touches the same line every iteration, so a prefetch can never
+	// add locality and an NT hint can only evict a reused line. Pruning
+	// them shrinks the online search the same way the loop-depth
+	// heuristic does, with facts instead of samples.
+	Invariant []int
 	// FuncOf maps each search-site load ID to its enclosing function, so
 	// the controller recompiles only the function a flipped bit lives in.
 	FuncOf map[int]string
@@ -32,6 +40,9 @@ type SearchSpace struct {
 //     sample count.
 //   - Only Innermost Loops: drop loads not at the function's maximum loop
 //     nesting depth.
+//   - Exclude Invariant Addresses: drop loads whose address operand is
+//     loop-invariant (dataflow.InvariantAddressLoads); they land in
+//     SearchSpace.Invariant instead of Sites.
 func BuildSearchSpace(mod *ir.Module, prof sampling.Profile) SearchSpace {
 	ss := SearchSpace{TotalLoads: mod.NumLoads, FuncOf: make(map[int]string)}
 	for _, fn := range prof.Hottest() {
@@ -40,6 +51,7 @@ func BuildSearchSpace(mod *ir.Module, prof sampling.Profile) SearchSpace {
 			continue
 		}
 		lf := ir.BuildLoopForest(f)
+		inv := dataflow.InvariantAddressLoads(f, lf)
 		for _, b := range f.Blocks {
 			atMax := lf.AtMaxDepth(b.Index)
 			for _, in := range b.Instrs {
@@ -48,10 +60,15 @@ func BuildSearchSpace(mod *ir.Module, prof sampling.Profile) SearchSpace {
 					continue
 				}
 				ss.Covered = append(ss.Covered, ld.ID)
-				if atMax {
-					ss.Sites = append(ss.Sites, ld.ID)
-					ss.FuncOf[ld.ID] = fn
+				if !atMax {
+					continue
 				}
+				if inv[ld.ID] {
+					ss.Invariant = append(ss.Invariant, ld.ID)
+					continue
+				}
+				ss.Sites = append(ss.Sites, ld.ID)
+				ss.FuncOf[ld.ID] = fn
 			}
 		}
 	}
@@ -74,7 +91,8 @@ func (ss SearchSpace) Funcs() []string {
 }
 
 // ReductionFactors reports the Figure 8 ratios: total/covered and
-// total/maxdepth (0 when a stage is empty).
+// total/maxdepth (0 when a stage is empty). The max-depth stage counts
+// invariant-pruned loads as removed, so pruning is visible in the ratio.
 func (ss SearchSpace) ReductionFactors() (coveredX, maxDepthX float64) {
 	if len(ss.Covered) > 0 {
 		coveredX = float64(ss.TotalLoads) / float64(len(ss.Covered))

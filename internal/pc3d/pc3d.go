@@ -86,11 +86,6 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// Options is the deprecated name for Config.
-//
-// Deprecated: use Config with New. Kept one release for compatibility.
-type Options = Config
-
 func (cfg Config) withDefaults(m *machine.Machine) Config {
 	ms := uint64(m.Config().FreqHz / 1000)
 	if cfg.Target == 0 {
@@ -211,19 +206,6 @@ func New(cfg Config) *Controller {
 	c.cViolations = c.tel.Counter("pc3d", "qos_violations_total", "steady-state QoS readings below target")
 	c.loop = agentloop.New(c.policy)
 	return c
-}
-
-// NewController builds a controller from the pre-Config argument list.
-//
-// Deprecated: use New(Config{Runtime: rt, Steady: steady, Window: win,
-// ExtSig: extSig, ...}). Kept one release for compatibility.
-func NewController(rt *core.Runtime, steady qos.Source, win qos.WindowScorer, extSig func(m *machine.Machine) phase.Signature, opts Options) *Controller {
-	cfg := opts
-	cfg.Runtime = rt
-	cfg.Steady = steady
-	cfg.Window = win
-	cfg.ExtSig = extSig
-	return New(cfg)
 }
 
 // Tick implements machine.Agent.

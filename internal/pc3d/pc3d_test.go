@@ -126,9 +126,9 @@ func buildRig(t testing.TB, extName, hostName string, target float64) *rig {
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}
-	rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2})
+	rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 2})
 	if err != nil {
-		t.Fatalf("core.Attach: %v", err)
+		t.Fatalf("core.New: %v", err)
 	}
 	m.AddAgent(rt)
 	flux := qos.NewFluxMonitor(m, host, ext, 0, 0)

@@ -73,7 +73,7 @@ func TestPC3DReactsToHostPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.Attach(m, host, core.Options{RuntimeCore: 2})
+	rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

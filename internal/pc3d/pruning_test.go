@@ -1,0 +1,80 @@
+package pc3d
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+// TestSearchSpacePrunesInvariantLoads: blockie's smash loop carries one
+// pinned (loop-invariant address) load among its streaming loads. The
+// search space must route it to Invariant — pruned by dataflow fact, not
+// sampled cost — and keep it out of Sites/FuncOf.
+func TestSearchSpacePrunesInvariantLoads(t *testing.T) {
+	mod := workload.MustByName("blockie").Module()
+
+	// Full coverage so no load is dropped for sampling reasons.
+	prof := sampling.Profile{}
+	for _, f := range mod.Funcs {
+		prof[f.Name] = 100
+	}
+	ss := BuildSearchSpace(mod, prof)
+
+	// Find the pinned loads at max depth straight from the IR.
+	wantInv := map[int]bool{}
+	for _, f := range mod.Funcs {
+		lf := ir.BuildLoopForest(f)
+		for _, b := range f.Blocks {
+			if !lf.AtMaxDepth(b.Index) {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if ld, ok := in.(*ir.Load); ok && ld.Acc.Pattern == ir.Pin {
+					wantInv[ld.ID] = true
+				}
+			}
+		}
+	}
+	if len(wantInv) == 0 {
+		t.Fatal("blockie has no pinned max-depth load; catalog fixture changed?")
+	}
+	if len(ss.Invariant) != len(wantInv) {
+		t.Fatalf("Invariant = %v, want the %d pinned load(s) %v", ss.Invariant, len(wantInv), wantInv)
+	}
+	for _, id := range ss.Invariant {
+		if !wantInv[id] {
+			t.Errorf("load %d pruned but not pinned", id)
+		}
+		if _, ok := ss.FuncOf[id]; ok {
+			t.Errorf("pruned load %d still has a FuncOf entry", id)
+		}
+	}
+	for _, id := range ss.Sites {
+		if wantInv[id] {
+			t.Errorf("pinned load %d still in Sites", id)
+		}
+	}
+
+	// Pruning must be visible in the reduction ratio: with the invariant
+	// load excluded, total/maxdepth strictly exceeds total/(maxdepth+inv).
+	_, maxDepthX := ss.ReductionFactors()
+	unpruned := float64(ss.TotalLoads) / float64(len(ss.Sites)+len(ss.Invariant))
+	if maxDepthX <= unpruned {
+		t.Errorf("maxDepthX = %.3f, want > %.3f (pruning must shrink the search space)", maxDepthX, unpruned)
+	}
+}
+
+// TestSearchSpaceNoPinNoPrune: an app with no pinned loads must have an
+// empty Invariant list — the analysis proves facts, it does not guess.
+func TestSearchSpaceNoPinNoPrune(t *testing.T) {
+	mod := workload.MustByName("bst").Module()
+	prof := sampling.Profile{}
+	for _, f := range mod.Funcs {
+		prof[f.Name] = 100
+	}
+	if ss := BuildSearchSpace(mod, prof); len(ss.Invariant) != 0 {
+		t.Fatalf("bst has no pinned loads but Invariant = %v", ss.Invariant)
+	}
+}

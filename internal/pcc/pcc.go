@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/ir/dataflow"
 	"repro/internal/ir/opt"
 	"repro/internal/isa"
 	"repro/internal/progbin"
@@ -66,11 +67,35 @@ type Options struct {
 	// start from the optimized program exactly as the paper's -O2 binaries
 	// do. The module is cloned first; the caller's copy is untouched.
 	Optimize bool
+	// NoVet skips the semantic vet gate. By default Compile refuses
+	// modules with error-severity lint findings (e.g. use-before-def) —
+	// shipping them would burn online search iterations on a live host,
+	// the exact overhead the system exists to avoid. Tests exercising
+	// deliberately malformed inputs set NoVet.
+	NoVet bool
+	// VetDiags, when non-nil, receives every lint finding (all
+	// severities) from the vet gate, so callers can surface warnings.
+	VetDiags func(ir.Diags)
 }
 
 // Compile lowers the module to a loadable binary. The module must have been
 // finalized (Module.Finalize).
+//
+// Unless opts.NoVet is set, the module first passes through the semantic
+// vet gate: error-severity findings (use-before-def) abort the compile;
+// warnings (dead stores, redundant prefetches) and infos are forwarded to
+// opts.VetDiags when set.
 func Compile(m *ir.Module, opts Options) (*progbin.Binary, error) {
+	if !opts.NoVet {
+		diags := dataflow.Lint(m)
+		if opts.VetDiags != nil {
+			opts.VetDiags(diags)
+		}
+		if n := diags.Errors(); n > 0 {
+			first, _ := diags.FirstError()
+			return nil, fmt.Errorf("pcc: vet: %d error finding(s), first: %s", n, first)
+		}
+	}
 	if opts.Optimize {
 		m = m.Clone()
 		opt.Optimize(m)

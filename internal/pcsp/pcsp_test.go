@@ -21,9 +21,9 @@ func attach(t *testing.T, app string) (*machine.Machine, *machine.Process, *core
 	if err != nil {
 		t.Fatalf("attach: %v", err)
 	}
-	rt, err := core.Attach(m, p, core.Options{RuntimeCore: 1})
+	rt, err := core.New(core.Config{Machine: m, Host: p, RuntimeCore: 1})
 	if err != nil {
-		t.Fatalf("core.Attach: %v", err)
+		t.Fatalf("core.New: %v", err)
 	}
 	m.AddAgent(rt)
 	return m, p, rt

@@ -72,11 +72,6 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// Options is the deprecated name for Config.
-//
-// Deprecated: use Config. Kept one release for compatibility.
-type Options = Config
-
 func (cfg Config) withDefaults() Config {
 	if cfg.BackoffSeconds == 0 {
 		cfg.BackoffSeconds = 0.05

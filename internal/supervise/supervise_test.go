@@ -86,14 +86,14 @@ func TestCrashRevertsAndRestarts(t *testing.T) {
 	m, host := hostProc(t)
 	dispatches := 0
 	build := func() (*Session, error) {
-		rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+		rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 1})
 		if err != nil {
 			return nil, err
 		}
 		return dispatchPolicy(t, rt, &dispatches), nil
 	}
 	crashAt := m.Cycles(0.05)
-	sup, err := New(m, host, build, Options{
+	sup, err := New(m, host, build, Config{
 		CrashFn: func(now uint64) bool { return now == crashAt },
 	})
 	if err != nil {
@@ -149,14 +149,14 @@ func TestCrashRevertsAndRestarts(t *testing.T) {
 func TestCrashLoopBacksOff(t *testing.T) {
 	m, host := hostProc(t)
 	build := func() (*Session, error) {
-		rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+		rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 1})
 		if err != nil {
 			return nil, err
 		}
 		return &Session{Runtime: rt}, nil
 	}
 	// Every session dies on its first tick: a pathological crash loop.
-	sup, err := New(m, host, build, Options{
+	sup, err := New(m, host, build, Config{
 		CrashFn: func(uint64) bool { return true },
 	})
 	if err != nil {
@@ -267,14 +267,14 @@ func TestBuilderFailureExtendsBackoff(t *testing.T) {
 		if calls == 2 {
 			return nil, errors.New("attach refused")
 		}
-		rt, err := core.Attach(m, host, core.Options{RuntimeCore: 1})
+		rt, err := core.New(core.Config{Machine: m, Host: host, RuntimeCore: 1})
 		if err != nil {
 			return nil, err
 		}
 		return &Session{Runtime: rt}, nil
 	}
 	crashAt := m.Cycles(0.01)
-	sup, err := New(m, host, build, Options{
+	sup, err := New(m, host, build, Config{
 		CrashFn: func(now uint64) bool { return now == crashAt },
 	})
 	if err != nil {

@@ -17,8 +17,13 @@ func Catalog() []Spec {
 				Globals: []GlobalSpec{{Name: "blocks", Size: 5 << 19}}, // 2.5 MiB
 				Hot: []HotFunc{{
 					Name: "smash", Depth: 2, InnerTrip: 200, OuterTrip: 4,
-					Loads: repeatLoads(12, LoadSpec{Global: "blocks", Pattern: ir.Seq, Stride: 64}),
-					Work:  1, Weight: 1, ShallowLoads: 28,
+					// 11 streaming loads plus a pinned block-descriptor
+					// re-read: the descriptor's address is loop-invariant,
+					// so PC3D's dataflow pruning drops it from the search
+					// space (static count stays at Figure 8's 64).
+					Loads: append(repeatLoads(11, LoadSpec{Global: "blocks", Pattern: ir.Seq, Stride: 64}),
+						LoadSpec{Global: "blocks", Pattern: ir.Pin}),
+					Work: 1, Weight: 1, ShallowLoads: 28,
 				}},
 				ColdFuncs: 4, ColdLoadsPerFunc: 6, ColdGlobal: "blocks",
 			},
