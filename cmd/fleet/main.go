@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -56,6 +58,9 @@ func main() {
 
 		metricsPath = flag.String("metrics", "", "write the cluster telemetry rollup in Prometheus text format to this file (- = stdout)")
 		tracePath   = flag.String("trace", "", "write the merged event trace as JSONL to this file (- = stdout)")
+		spansPath   = flag.String("spans", "", "write the merged spans + events as Chrome trace-event JSON (Perfetto-loadable) to this file (- = stdout)")
+		profilePath = flag.String("profile", "", "write the fleet deep profile as folded stacks (flamegraph/speedscope input) to this file (- = stdout)")
+		serveAddr   = flag.String("serve", "", "serve /metrics, /trace, /profile, /healthz (plus /debug/pprof) on this address during and after the run, e.g. :8080")
 	)
 	flag.Parse()
 
@@ -121,6 +126,20 @@ func main() {
 	cfg := f.Config()
 	fmt.Printf("fleet: %d servers, %d %s instances, webservice %s, system %s, policy %s, %d workers\n",
 		cfg.Servers, cfg.Instances, mix.Name, cfg.Webservice, cfg.System, cfg.Policy.Name(), cfg.Workers)
+	if *serveAddr != "" {
+		// The handler must exist before Run so servers publish live
+		// snapshots; scraping works throughout the run and afterwards.
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			failErr(err)
+		}
+		fmt.Printf("serving /metrics /trace /profile /healthz on %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, f.Handler()); err != nil {
+				fail("serve: %v", err)
+			}
+		}()
+	}
 	start := time.Now()
 	m, err := f.Run()
 	if err != nil {
@@ -165,6 +184,20 @@ func main() {
 		if err := writeExport(*tracePath, tel.WriteJSONL); err != nil {
 			failErr(err)
 		}
+	}
+	if *spansPath != "" {
+		if err := writeExport(*spansPath, tel.WriteChromeTrace); err != nil {
+			failErr(err)
+		}
+	}
+	if *profilePath != "" {
+		if err := writeExport(*profilePath, f.WriteProfile); err != nil {
+			failErr(err)
+		}
+	}
+	if *serveAddr != "" {
+		fmt.Println("run complete; still serving (ctrl-c to exit)")
+		select {}
 	}
 }
 

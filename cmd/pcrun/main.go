@@ -8,6 +8,7 @@
 //	pcrun -seconds 2 lq.pcb
 //	pcrun -seconds 2 -stress 50ms lq.pcb   # with a recompilation stress runtime
 //	pcrun -stress 50ms -metrics - -trace events.jsonl lq.pcb
+//	pcrun -profile lq.folded -spans lq.trace.json lq.pcb
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/progbin"
+	"repro/internal/sampling"
 	"repro/internal/telemetry"
 )
 
@@ -32,6 +34,9 @@ func main() {
 
 		metricsPath = flag.String("metrics", "", "write run telemetry in Prometheus text format to this file (- = stdout)")
 		tracePath   = flag.String("trace", "", "write the telemetry event trace as JSONL to this file (- = stdout)")
+		spansPath   = flag.String("spans", "", "write recorded spans + events as Chrome trace-event JSON (Perfetto-loadable) to this file (- = stdout)")
+		profilePath = flag.String("profile", "", "sample the run and write a block-granular deep profile as folded stacks (- = stdout)")
+		profFormat  = flag.String("profile-format", "folded", "deep profile format: folded|pprof-raw")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pcrun [flags] <binary.pcb>\n")
@@ -56,7 +61,7 @@ func main() {
 	}
 
 	var reg *telemetry.Registry
-	if *metricsPath != "" || *tracePath != "" {
+	if *metricsPath != "" || *tracePath != "" || *spansPath != "" {
 		reg = telemetry.New(telemetry.Config{})
 	}
 	m := machine.New(machine.Config{Cores: 2, Telemetry: reg})
@@ -64,6 +69,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
 		os.Exit(1)
+	}
+	var sampler *sampling.PCSampler
+	if *profilePath != "" {
+		sampler = sampling.NewPCSampler(p, m.Config().QuantumCycles)
+		m.AddAgent(sampler)
 	}
 
 	var rt *core.Runtime
@@ -122,6 +132,29 @@ func main() {
 	}
 	if *tracePath != "" {
 		if err := writeExport(*tracePath, reg.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *spansPath != "" {
+		if err := writeExport(*spansPath, reg.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *profilePath != "" {
+		deep := sampler.DeepLifetime()
+		var write func(w io.Writer) error
+		switch *profFormat {
+		case "folded":
+			write = func(w io.Writer) error { return deep.WriteFolded(w, p.Name()) }
+		case "pprof-raw":
+			write = func(w io.Writer) error { return deep.WritePprofRaw(w, m.Config().QuantumCycles) }
+		default:
+			fmt.Fprintf(os.Stderr, "pcrun: unknown -profile-format %q (folded|pprof-raw)\n", *profFormat)
+			os.Exit(2)
+		}
+		if err := writeExport(*profilePath, write); err != nil {
 			fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
 			os.Exit(1)
 		}

@@ -13,12 +13,15 @@
 //
 //	<severity>[<rule>] <location>: <message>
 //
-// followed by a per-target count summary. The exit status is 1 when any
-// target has an error-severity finding (or fails to parse/compile at all),
-// 0 otherwise, 2 for usage errors — so CI can gate on it directly.
+// followed by a per-target count summary. With -format json each finding
+// (and the per-target summary) is instead one JSON object per line, for
+// machine consumers. The exit status is 1 when any target has an
+// error-severity finding (or fails to parse/compile at all), 0 otherwise,
+// 2 for usage errors — so CI can gate on it directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report = fs.String("report", "", "also append findings to this file (for CI artifacts)")
 		max    = fs.Int("max", 40, "findings printed per target before truncating")
 		list   = fs.Bool("list", false, "list catalog app names and exit")
+		format = fs.String("format", "text", "output format: text|json (one JSON object per line)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: pcvet [-app name | -all | -input file.ir | -bin file.pcb]\n")
@@ -80,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "pcvet: unknown -format %q (text|json)\n", *format)
+		return 2
+	}
 
 	out := stdout
 	if *report != "" {
@@ -92,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out = io.MultiWriter(stdout, f)
 	}
 
-	v := &vetter{out: out, max: *max}
+	v := &vetter{out: out, max: *max, jsonOut: *format == "json"}
 	switch {
 	case *all:
 		var names []string
@@ -122,9 +130,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			// A module that fails structural verification is the most
 			// severe finding there is; report it in diagnostic form.
-			fmt.Fprintf(out, "%s: error[verify]: %v\n", *input, err)
-			fmt.Fprintf(out, "%s: 1 error, 0 warnings, 0 infos\n", *input)
-			v.errors++
+			if v.jsonOut {
+				v.report(*input, ir.Diags{{Sev: ir.SevError, Rule: "verify", Pos: ir.Pos{Instr: ir.NoInstr}, Msg: err.Error()}})
+			} else {
+				fmt.Fprintf(out, "%s: error[verify]: %v\n", *input, err)
+				fmt.Fprintf(out, "%s: 1 error, 0 warnings, 0 infos\n", *input)
+				v.errors++
+			}
 		} else {
 			v.vetModule(*input, m)
 		}
@@ -152,9 +164,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // vetter accumulates findings across targets and formats the report.
 type vetter struct {
-	out    io.Writer
-	max    int
-	errors int // error-severity findings across every target
+	out     io.Writer
+	max     int
+	jsonOut bool
+	errors  int // error-severity findings across every target
+}
+
+// jsonPos mirrors ir.Pos with stable lower-case keys for machine
+// consumers; coarser-scoped findings leave the finer fields zeroed.
+type jsonPos struct {
+	Module string `json:"module,omitempty"`
+	Func   string `json:"func,omitempty"`
+	Block  string `json:"block,omitempty"`
+	Instr  int    `json:"instr"`
+	Term   bool   `json:"term,omitempty"`
+}
+
+// jsonFinding is one finding in -format json output, one object per line.
+type jsonFinding struct {
+	Target   string  `json:"target"`
+	Severity string  `json:"severity"`
+	Rule     string  `json:"rule"`
+	Pos      jsonPos `json:"pos"`
+	Msg      string  `json:"msg"`
+}
+
+// jsonSummary closes each target's findings in -format json output.
+type jsonSummary struct {
+	Target    string `json:"target"`
+	Summary   bool   `json:"summary"`
+	Errors    int    `json:"errors"`
+	Warnings  int    `json:"warnings"`
+	Infos     int    `json:"infos"`
+	Truncated int    `json:"truncated,omitempty"`
 }
 
 // vetModule lints a finalized module and, when it compiles cleanly, the
@@ -198,6 +240,10 @@ func (v *vetter) vetBinary(name string, b *progbin.Binary) {
 // report prints one target's findings (capped at v.max) and its summary
 // line, and tallies error-severity findings.
 func (v *vetter) report(name string, diags ir.Diags) {
+	if v.jsonOut {
+		v.reportJSON(name, diags)
+		return
+	}
 	for i, d := range diags {
 		if v.max > 0 && i == v.max {
 			fmt.Fprintf(v.out, "%s: ... and %d more finding(s)\n", name, len(diags)-v.max)
@@ -207,5 +253,40 @@ func (v *vetter) report(name string, diags ir.Diags) {
 	}
 	fmt.Fprintf(v.out, "%s: %d errors, %d warnings, %d infos\n",
 		name, diags.Errors(), diags.Warnings(), diags.Infos())
+	v.errors += diags.Errors()
+}
+
+// reportJSON is report in machine form: one finding object per line, then
+// a summary object carrying the full (untruncated) severity counts.
+func (v *vetter) reportJSON(name string, diags ir.Diags) {
+	enc := json.NewEncoder(v.out)
+	truncated := 0
+	for i, d := range diags {
+		if v.max > 0 && i == v.max {
+			truncated = len(diags) - v.max
+			break
+		}
+		enc.Encode(jsonFinding{
+			Target:   name,
+			Severity: d.Sev.String(),
+			Rule:     d.Rule,
+			Pos: jsonPos{
+				Module: d.Pos.Module,
+				Func:   d.Pos.Func,
+				Block:  d.Pos.Block,
+				Instr:  d.Pos.Instr,
+				Term:   d.Pos.Term,
+			},
+			Msg: d.Msg,
+		})
+	}
+	enc.Encode(jsonSummary{
+		Target:    name,
+		Summary:   true,
+		Errors:    diags.Errors(),
+		Warnings:  diags.Warnings(),
+		Infos:     diags.Infos(),
+		Truncated: truncated,
+	})
 	v.errors += diags.Errors()
 }

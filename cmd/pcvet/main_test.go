@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,6 +39,72 @@ func TestGoldens(t *testing.T) {
 				t.Errorf("exit code = %d, want %d", code, wantCode)
 			}
 		})
+	}
+}
+
+// TestGoldensJSON is TestGoldens for -format json: every corpus file's
+// machine-readable report must match its .want.json golden byte for byte,
+// every line must parse as a JSON object, and the exit code must agree
+// with the text-format run.
+func TestGoldensJSON(t *testing.T) {
+	irs, err := filepath.Glob("testdata/*.ir")
+	if err != nil || len(irs) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, irFile := range irs {
+		irFile := irFile
+		t.Run(filepath.Base(irFile), func(t *testing.T) {
+			want, err := os.ReadFile(strings.TrimSuffix(irFile, ".ir") + ".want.json")
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			var out, errw bytes.Buffer
+			code := run([]string{"-format", "json", "-input", irFile}, &out, &errw)
+			if out.String() != string(want) {
+				t.Errorf("report mismatch:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+			}
+			var textOut, textErr bytes.Buffer
+			if textCode := run([]string{"-input", irFile}, &textOut, &textErr); code != textCode {
+				t.Errorf("json exit code = %d, text exit code = %d", code, textCode)
+			}
+			sawSummary := false
+			for _, line := range strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n") {
+				var obj map[string]any
+				if err := json.Unmarshal([]byte(line), &obj); err != nil {
+					t.Errorf("line is not a JSON object: %v\n%s", err, line)
+					continue
+				}
+				if obj["summary"] == true {
+					sawSummary = true
+				}
+			}
+			if !sawSummary {
+				t.Errorf("no summary object in:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestMaxCapJSON checks -format json truncation: printed findings stop at
+// -max but the summary still carries the full counts plus how many were
+// dropped.
+func TestMaxCapJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	run([]string{"-format", "json", "-input", filepath.Join("testdata", "dead_store.ir"), "-max", "1"}, &out, &errw)
+	s := out.String()
+	if got := strings.Count(s, `"rule":"dead-store"`); got != 1 {
+		t.Errorf("printed %d findings, want 1 after truncation:\n%s", got, s)
+	}
+	if !strings.Contains(s, `"warnings":2`) || !strings.Contains(s, `"truncated":1`) {
+		t.Errorf("summary must count all findings and the truncation:\n%s", s)
+	}
+}
+
+// TestFormatErrors checks an unknown -format is a usage error.
+func TestFormatErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-format", "yaml", "-app", "bst"}, &out, &errw); code != 2 {
+		t.Errorf("run(-format yaml) = %d, want 2", code)
 	}
 }
 

@@ -120,6 +120,7 @@ type compileJob struct {
 	onDone    func(*Variant, error)
 	finishAt  uint64
 	seq       uint64
+	span      telemetry.SpanID
 }
 
 // Runtime is one protean runtime attached to one host process. It
@@ -231,12 +232,15 @@ func (rt *Runtime) Tick(m *machine.Machine) {
 		if err != nil {
 			rt.cCompileFails.Inc()
 			rt.tel.Emit(telemetry.Event{At: now, Kind: telemetry.EvCompileFail, Func: job.fn, Value: float64(job.seq), Detail: err.Error()})
+			rt.tel.SpanAttrs(job.span, telemetry.Str("error", err.Error()))
 		} else {
 			rt.cCompiles.Inc()
 			rt.gCodeCacheWords.Set(float64(rt.CodeCacheWords()))
 			rt.gVariants.Add(1)
 			rt.tel.Emit(telemetry.Event{At: now, Kind: telemetry.EvCompileFinish, Func: job.fn, Value: float64(v.ID)})
+			rt.tel.SpanAttrs(job.span, telemetry.Num("variant", float64(v.ID)))
 		}
+		rt.tel.EndSpan(job.span, now)
 		if job.onDone != nil {
 			job.onDone(v, err)
 		}
@@ -274,8 +278,13 @@ func (rt *Runtime) RequestVariant(fn string, transform Transform, meta any, onDo
 	seq := rt.jobSeq
 	rt.jobSeq++
 	rt.tel.Emit(telemetry.Event{At: now, Kind: telemetry.EvCompileStart, Func: fn, Value: float64(seq)})
+	// The compile span covers queueing plus the modeled backend latency;
+	// it parents under the registry's ambient span (the policy operation
+	// that requested it) and closes when the job completes in Tick.
+	span := rt.tel.StartSpan("core.compile", now, rt.tel.SpanParent())
+	rt.tel.SpanAttrs(span, telemetry.Str("func", fn), telemetry.Num("job", float64(seq)))
 	rt.jobs = append(rt.jobs, compileJob{
-		fn: fn, transform: transform, meta: meta, onDone: onDone, finishAt: finish, seq: seq,
+		fn: fn, transform: transform, meta: meta, onDone: onDone, finishAt: finish, seq: seq, span: span,
 	})
 	return nil
 }

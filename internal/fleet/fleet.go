@@ -33,6 +33,7 @@ import (
 	"repro/internal/progbin"
 	"repro/internal/qos"
 	"repro/internal/reqos"
+	"repro/internal/sampling"
 	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -328,6 +329,11 @@ type Fleet struct {
 	// snapshots stay plain comparable data.
 	tel       *telemetry.Registry
 	serverTel []*telemetry.Registry
+	// serverProf holds each server's end-of-run deep profiles (app name →
+	// profile, webservice included); merged in index order by WriteProfile.
+	serverProf []map[string]*sampling.DeepProfile
+	// live is the scrape surface state; non-nil once Handler was called.
+	live *liveState
 }
 
 // New validates the configuration and builds a fleet.
@@ -446,6 +452,7 @@ func (f *Fleet) Run() (Metrics, error) {
 	}
 	// One single-writer registry per server; workers write disjoint slots.
 	f.serverTel = make([]*telemetry.Registry, f.cfg.Servers)
+	f.serverProf = make([]map[string]*sampling.DeepProfile, f.cfg.Servers)
 	results := make([]ServerResult, f.cfg.Servers)
 	err := f.forEach(f.cfg.Servers, func(i int) error {
 		res, err := f.runServer(i, assignment[i], plan.plans[i])
@@ -615,6 +622,35 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 		m.AddAgent(gen)
 	}
 
+	// The fleet keeps its own PC samplers (independent of the protean
+	// runtime's) so every server contributes block-granular deep profiles,
+	// whatever the mitigation system. Sampling only reads process state.
+	type appSampler struct {
+		app string
+		smp *sampling.PCSampler
+	}
+	wsSmp := sampling.NewPCSampler(ws, m.Config().QuantumCycles)
+	m.AddAgent(wsSmp)
+	samplers := []appSampler{{cfg.Webservice, wsSmp}}
+	profSnapshot := func() map[string]*sampling.DeepProfile {
+		out := make(map[string]*sampling.DeepProfile, len(samplers))
+		for _, as := range samplers {
+			d := as.smp.DeepLifetime()
+			if p := out[as.app]; p != nil {
+				p.Merge(d)
+			} else {
+				out[as.app] = d
+			}
+		}
+		return out
+	}
+	if f.live != nil {
+		m.AddAgent(&livePublisher{
+			live: f.live, idx: idx, reg: reg, prof: profSnapshot,
+			step: uint64(publishEveryQuanta) * m.Config().QuantumCycles,
+		})
+	}
+
 	// Per-server fault hooks (all nil without chaos).
 	var compileFault func(string, uint64) error
 	var rtCrashFn, dropFn func(uint64) bool
@@ -648,6 +684,9 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 			return err
 		}
 		host, hostApp = h, a
+		hostSmp := sampling.NewPCSampler(host, m.Config().QuantumCycles)
+		m.AddAgent(hostSmp)
+		samplers = append(samplers, appSampler{a, hostSmp})
 		var src qos.Source
 		var win qos.WindowScorer
 		var extSig func(*machine.Machine) phase.Signature
@@ -800,6 +839,11 @@ func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, e
 		reg.CounterValue("supervise", "reaps_total") > 0 ||
 		reg.CounterValue("pc3d", "compile_failures_total") > 0 ||
 		reg.CounterValue("pc3d", "sensor_dropouts_total") > 0)
+	f.serverProf[idx] = profSnapshot()
+	if f.live != nil {
+		// Final deposit so post-run scrapes see the completed server.
+		f.live.publish(idx, reg.Clone(), profSnapshot())
+	}
 	return res, nil
 }
 

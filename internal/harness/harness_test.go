@@ -380,14 +380,17 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 23 {
-		t.Errorf("artifacts = %d, want 23", len(arts))
+	if len(arts) != 24 {
+		t.Errorf("artifacts = %d, want 24", len(arts))
 	}
 	if _, err := ArtifactByKey("figchaos"); err != nil {
 		t.Errorf("figchaos missing: %v", err)
 	}
 	if _, err := ArtifactByKey("figtimeline"); err != nil {
 		t.Errorf("figtimeline missing: %v", err)
+	}
+	if _, err := ArtifactByKey("figspans"); err != nil {
+		t.Errorf("figspans missing: %v", err)
 	}
 	if _, err := ArtifactByKey("fig4"); err != nil {
 		t.Errorf("fig4 missing: %v", err)

@@ -68,13 +68,14 @@ func Lower(m *ir.Module, cfg Config) (*Program, error) {
 	entries := make(map[string]int, len(m.Funcs))
 	for _, f := range m.Funcs {
 		entry := len(p.Code)
-		code, err := env.lowerFunc(m, f, entry)
+		code, blocks, err := env.lowerFunc(m, f, entry)
 		if err != nil {
 			return nil, err
 		}
 		p.Code = append(p.Code, code...)
 		p.Funcs = append(p.Funcs, FuncInfo{
 			Name: f.Name, Entry: entry, End: len(p.Code), MaxReg: f.MaxReg,
+			Blocks: blocks,
 		})
 		entries[f.Name] = entry
 	}
@@ -132,7 +133,7 @@ func LowerVariant(p *Program, m *ir.Module, fn string, variant, basePC int) (*Va
 		evtSlot[e.Callee] = i
 	}
 	env := &lowerEnv{globals: globalInfo, evtSlot: evtSlot}
-	code, err := env.lowerFunc(m, f, basePC)
+	code, blocks, err := env.lowerFunc(m, f, basePC)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +149,7 @@ func LowerVariant(p *Program, m *ir.Module, fn string, variant, basePC int) (*Va
 		Info: FuncInfo{
 			Name: fn, Variant: variant,
 			Entry: basePC, End: basePC + len(code), MaxReg: f.MaxReg,
+			Blocks: blocks,
 		},
 		NumSites: m.NumMemSites + 1,
 	}, nil
@@ -188,8 +190,9 @@ func (env *lowerEnv) gen(a ir.Access, memID int) (AddrGen, error) {
 }
 
 // lowerFunc emits the function's code with all branch targets absolute,
-// assuming the first instruction lands at basePC.
-func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst, error) {
+// assuming the first instruction lands at basePC. It also returns the
+// per-block PC extents (absolute, in layout order) for sample attribution.
+func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst, []BlockInfo, error) {
 	var code []Inst
 	blockPC := make([]int, len(f.Blocks))
 	type branchFixup struct {
@@ -224,7 +227,7 @@ func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst
 			case *ir.Load:
 				g, err := env.gen(in.Acc, in.MemID)
 				if err != nil {
-					return nil, fmt.Errorf("function %q: %w", f.Name, err)
+					return nil, nil, fmt.Errorf("function %q: %w", f.Name, err)
 				}
 				if in.NT {
 					// A non-temporal hint lowers to prefetchnta followed by
@@ -238,7 +241,7 @@ func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst
 			case *ir.Store:
 				g, err := env.gen(in.Acc, in.MemID)
 				if err != nil {
-					return nil, fmt.Errorf("function %q: %w", f.Name, err)
+					return nil, nil, fmt.Errorf("function %q: %w", f.Name, err)
 				}
 				mi := Inst{Op: OpStore, Gen: g, LoadID: -1}
 				if in.Val.IsReg {
@@ -251,7 +254,7 @@ func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst
 			case *ir.Prefetch:
 				g, err := env.gen(in.Acc, in.MemID)
 				if err != nil {
-					return nil, fmt.Errorf("function %q: %w", f.Name, err)
+					return nil, nil, fmt.Errorf("function %q: %w", f.Name, err)
 				}
 				code = append(code, Inst{Op: OpPrefetch, Gen: g, NT: in.NT, Lead: in.Lead, LoadID: -1})
 			case *ir.Call:
@@ -262,7 +265,7 @@ func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst
 					code = append(code, Inst{Op: OpCall, LoadID: -1})
 				}
 			default:
-				return nil, fmt.Errorf("isa: function %q: unknown instruction %T", f.Name, in)
+				return nil, nil, fmt.Errorf("isa: function %q: unknown instruction %T", f.Name, in)
 			}
 		}
 		switch t := b.Term.(type) {
@@ -288,11 +291,19 @@ func (env *lowerEnv) lowerFunc(m *ir.Module, f *ir.Function, basePC int) ([]Inst
 		case *ir.Return:
 			code = append(code, Inst{Op: OpRet, LoadID: -1})
 		default:
-			return nil, fmt.Errorf("isa: function %q block %q: unknown terminator %T", f.Name, b.Name, t)
+			return nil, nil, fmt.Errorf("isa: function %q block %q: unknown terminator %T", f.Name, b.Name, t)
 		}
 	}
 	for _, fx := range fixups {
 		code[fx.pc].Target = basePC + blockPC[fx.block]
 	}
-	return code, nil
+	blocks := make([]BlockInfo, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		end := len(code)
+		if bi+1 < len(f.Blocks) {
+			end = blockPC[bi+1]
+		}
+		blocks[bi] = BlockInfo{Name: b.Name, Entry: basePC + blockPC[bi], End: basePC + end}
+	}
+	return code, blocks, nil
 }

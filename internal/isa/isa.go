@@ -19,6 +19,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ir"
 )
@@ -153,6 +154,17 @@ func (in Inst) yString() string {
 	return fmt.Sprintf("%d", in.YImm)
 }
 
+// BlockInfo records the PC extent of one lowered basic block. Entry/End
+// are absolute PCs delimiting the half-open range [Entry, End).
+type BlockInfo struct {
+	// Name is the IR block name; variants of a function keep the original
+	// block names, so block-level profiles aggregate across variants.
+	Name string
+	// Entry and End delimit the half-open PC range [Entry, End).
+	Entry int
+	End   int
+}
+
 // FuncInfo records the PC extent of one lowered function, used for PC-sample
 // attribution and as EVT dispatch targets.
 type FuncInfo struct {
@@ -167,6 +179,24 @@ type FuncInfo struct {
 	End   int
 	// MaxReg sizes the register frame.
 	MaxReg int
+	// Blocks lists the function's basic-block PC extents in layout order
+	// (contiguous, covering [Entry, End)). Empty for binaries serialized
+	// before block metadata existed; sample attribution then degrades to
+	// function granularity.
+	Blocks []BlockInfo
+}
+
+// BlockAt returns the index in Blocks of the block containing pc, or -1
+// when pc is outside the function or block metadata is absent.
+func (f FuncInfo) BlockAt(pc int) int {
+	i := sort.Search(len(f.Blocks), func(i int) bool { return f.Blocks[i].Entry > pc })
+	if i == 0 {
+		return -1
+	}
+	if b := f.Blocks[i-1]; pc < b.End {
+		return i - 1
+	}
+	return -1
 }
 
 // GlobalInfo records the placement of one data region.

@@ -253,6 +253,40 @@ func (p *Process) CurrentFunc() string {
 	return ""
 }
 
+// Sample attributes one sampled PC: the function (original or variant),
+// the basic block inside it, and — when the PC is a load — the static IR
+// load site. This is the ptrace-sampler analog of symbolizing a PC against
+// the binary's line table.
+type Sample struct {
+	Func    string
+	Variant int
+	// Block is the IR block name, or "" for binaries without block tables.
+	Block string
+	// LoadID is the static load site when the sampled instruction is a
+	// load, -1 otherwise.
+	LoadID int
+}
+
+// SampleAt attributes pc to (function, block, load site); ok is false when
+// pc is outside any function.
+func (p *Process) SampleAt(pc int) (Sample, bool) {
+	f, ok := p.FuncAt(pc)
+	if !ok {
+		return Sample{}, false
+	}
+	s := Sample{Func: f.Name, Variant: f.Variant, LoadID: -1}
+	if bi := f.BlockAt(pc); bi >= 0 {
+		s.Block = f.Blocks[bi].Name
+	}
+	if pc >= 0 && pc < len(p.code) && p.code[pc].Op == isa.OpLoad {
+		s.LoadID = p.code[pc].LoadID
+	}
+	return s, true
+}
+
+// CurrentSample attributes the current PC (see SampleAt).
+func (p *Process) CurrentSample() (Sample, bool) { return p.SampleAt(p.pc) }
+
 // SetNapIntensity sets the napping duty cycle in [0,1]: the fraction of
 // each nap window the process sleeps. This is the authoritative nap-state
 // transition point — every policy funnels through it, so the telemetry

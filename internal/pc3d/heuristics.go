@@ -1,6 +1,8 @@
 package pc3d
 
 import (
+	"sort"
+
 	"repro/internal/ir"
 	"repro/internal/ir/dataflow"
 	"repro/internal/sampling"
@@ -18,7 +20,9 @@ type SearchSpace struct {
 	Covered []int
 	// Sites lists the load IDs PC3D actually searches ("Max Depth"):
 	// covered loads at the maximum loop nesting depth of their function,
-	// ordered by function hotness (descending) then load ID.
+	// ordered by the heat of their own basic block (descending), with
+	// function hotness as tiebreak, then load ID. Profiles without block
+	// attribution degrade gracefully to function-hotness order.
 	Sites []int
 	// Invariant lists the max-depth load IDs pruned because dataflow
 	// analysis proved their address operand loop-invariant: the load
@@ -33,21 +37,33 @@ type SearchSpace struct {
 }
 
 // BuildSearchSpace applies the reduction heuristics to a program's IR
-// given a PC-sample profile:
+// given a hierarchical PC-sample profile:
 //
 //   - Exclude Uncovered Code: drop loads in functions with zero samples.
-//   - Prioritize Hotter Code: order surviving loads by their function's
-//     sample count.
+//   - Prioritize Hotter Code: order surviving loads by the sample count of
+//     their own basic block, breaking ties by function sample count — two
+//     loads in one hot function rank by the heat of the blocks they
+//     actually sit in.
 //   - Only Innermost Loops: drop loads not at the function's maximum loop
 //     nesting depth.
 //   - Exclude Invariant Addresses: drop loads whose address operand is
 //     loop-invariant (dataflow.InvariantAddressLoads); they land in
 //     SearchSpace.Invariant instead of Sites.
-func BuildSearchSpace(mod *ir.Module, prof sampling.Profile) SearchSpace {
+//
+// Flat function-only profiles (sampling.Profile.Deep) carry zero block
+// heat, so the ordering degrades to the original function-hotness rank.
+func BuildSearchSpace(mod *ir.Module, prof *sampling.DeepProfile) SearchSpace {
 	ss := SearchSpace{TotalLoads: mod.NumLoads, FuncOf: make(map[int]string)}
-	for _, fn := range prof.Hottest() {
+	flat := prof.Flat()
+	type cand struct {
+		id        int
+		blockHeat uint64
+		funcHeat  uint64
+	}
+	var cands []cand
+	for _, fn := range flat.Hottest() {
 		f := mod.Func(fn)
-		if f == nil || !prof.Covered(fn) {
+		if f == nil || !flat.Covered(fn) {
 			continue
 		}
 		lf := ir.BuildLoopForest(f)
@@ -67,10 +83,30 @@ func BuildSearchSpace(mod *ir.Module, prof sampling.Profile) SearchSpace {
 					ss.Invariant = append(ss.Invariant, ld.ID)
 					continue
 				}
-				ss.Sites = append(ss.Sites, ld.ID)
+				cands = append(cands, cand{
+					id:        ld.ID,
+					blockHeat: prof.BlockSamples(fn, b.Name),
+					funcHeat:  flat[fn],
+				})
 				ss.FuncOf[ld.ID] = fn
 			}
 		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].blockHeat != cands[j].blockHeat {
+			return cands[i].blockHeat > cands[j].blockHeat
+		}
+		if cands[i].funcHeat != cands[j].funcHeat {
+			return cands[i].funcHeat > cands[j].funcHeat
+		}
+		return cands[i].id < cands[j].id
+	})
+	ss.Sites = make([]int, len(cands))
+	for i, c := range cands {
+		ss.Sites[i] = c.id
+	}
+	if len(ss.Sites) == 0 {
+		ss.Sites = nil
 	}
 	return ss
 }

@@ -357,6 +357,18 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 	c.cSearches.Inc()
 	c.searched = true
 
+	// The search span roots one causal tree: every variant_eval (and the
+	// probes and compiles underneath) parents into it via the registry's
+	// ambient parent. Left open if the machine shuts down mid-search.
+	sp := c.tel.StartSpan("pc3d.search", m.Now(), 0)
+	prevParent := c.tel.SetSpanParent(sp)
+	defer func() {
+		c.tel.SetSpanParent(prevParent)
+		if m != nil {
+			c.tel.EndSpan(sp, m.Now())
+		}
+	}()
+
 	aborted := func(m *machine.Machine) bool {
 		if !c.observePhases(m) {
 			return false
@@ -365,6 +377,7 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 		c.cPhases.Inc()
 		c.stats.SearchAborts++
 		c.cAborts.Inc()
+		c.tel.SpanAttrs(sp, telemetry.Str("status", "aborted"))
 		c.trace("search aborted: co-phase changed")
 		c.searched = false
 		c.violations = 0
@@ -373,21 +386,24 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 		return true
 	}
 
-	prof := c.rt.Sampler().Lifetime()
+	prof := c.rt.Sampler().DeepLifetime()
 	c.space = BuildSearchSpace(c.rt.IR(), prof)
 	sites := c.space.Sites
 	if c.cfg.MaxSites > 0 && len(sites) > c.cfg.MaxSites {
 		sites = sites[:c.cfg.MaxSites]
 	}
+	c.tel.SpanAttrs(sp, telemetry.Num("sites", float64(len(sites))))
 	if len(sites) == 0 {
 		// Nothing to transform: pure napping fallback.
 		nap, _, mm := c.variantEvalMask(l, m, nil, 0, 1)
 		if mm == nil {
+			m = nil
 			return nil
 		}
+		m = mm
 		c.setNap(nap)
 		c.napFloor = nap
-		return mm
+		return m
 	}
 
 	// Evaluate variant 0 (no hints) and variant 1 (all hints) to bound the
@@ -399,13 +415,16 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 	}
 	nap0, r0, m2 := c.variantEvalMask(l, m, mask0, 0, 1)
 	if m2 == nil {
+		m = nil
 		return nil
 	}
-	if aborted(m2) {
-		return m2
+	m = m2
+	if aborted(m) {
+		return m
 	}
-	nap1, r1, m3 := c.variantEvalMask(l, m2, mask1, 0, 1)
+	nap1, r1, m3 := c.variantEvalMask(l, m, mask1, 0, 1)
 	if m3 == nil {
+		m = nil
 		return nil
 	}
 	m = m3
@@ -439,6 +458,7 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 		cur[id] = false
 		napM, rM, mm := c.variantEvalMask(l, m, cur, lb, ub)
 		if mm == nil {
+			m = nil
 			return nil
 		}
 		m = mm
@@ -459,10 +479,12 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 	c.trace("search done: mask=%d nap=%.3f bps=%.0f", len(maskIDs(best)), bestNap, bestR)
 	// Dispatch the winner and settle at its nap intensity.
 	if mm := c.applyMask(l, m, best); mm == nil {
+		m = nil
 		return nil
 	} else {
 		m = mm
 	}
+	c.tel.SpanAttrs(sp, telemetry.Num("best_mask", float64(len(maskIDs(best)))), telemetry.Num("best_nap", bestNap))
 	c.setNap(bestNap)
 	c.napFloor = bestNap
 	return m
@@ -475,29 +497,48 @@ func (c *Controller) runSearch(l *agentloop.Loop, m *machine.Machine) *machine.M
 func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask map[int]bool, napLB, napUB float64) (nap, bps float64, out *machine.Machine) {
 	c.stats.VariantEvals++
 	c.cEvals.Inc()
+	// The eval span nests under the search span (ambient parent) and in
+	// turn becomes the ambient parent of the compiles applyMask triggers.
+	sp := c.tel.StartSpan("pc3d.variant_eval", m.Now(), c.tel.SpanParent())
+	c.tel.SpanAttrs(sp, telemetry.Num("mask_size", float64(len(maskIDs(mask)))))
+	prevParent := c.tel.SetSpanParent(sp)
+	defer func() {
+		c.tel.SetSpanParent(prevParent)
+		if out != nil {
+			c.tel.SpanAttrs(sp, telemetry.Num("nap", nap), telemetry.Num("bps", bps))
+			c.tel.EndSpan(sp, out.Now())
+		}
+	}()
 	if m = c.applyMask(l, m, mask); m == nil {
 		return 0, 0, nil
 	}
 	lo, hi := napLB, napUB
 	bps = 0
 	measure := func(at float64) (float64, float64, bool) {
+		psp := c.tel.StartSpan("pc3d.probe", m.Now(), sp)
+		c.tel.SpanAttrs(psp, telemetry.Num("nap", at))
 		c.setNap(at)
+		ssp := c.tel.StartSpan("pc3d.settle", m.Now(), psp)
 		if m = l.WaitCycles(c.cfg.SettleCycles); m == nil {
 			return 0, 0, false
 		}
+		c.tel.EndSpan(ssp, m.Now())
 		// A dark or corrupted QoS sensor invalidates the window; re-measure
 		// up to three times before giving up on this probe.
 		for attempt := 0; ; attempt++ {
 			c.win.Mark(m)
 			c.hostMeter.Read(m)
+			wsp := c.tel.StartSpan("pc3d.window", m.Now(), psp)
 			if m = l.WaitCycles(c.cfg.WindowCycles); m == nil {
 				return 0, 0, false
 			}
+			c.tel.EndSpan(wsp, m.Now())
 			q, qok := c.win.Score(m)
 			r := c.hostMeter.Read(m)
 			c.stats.NapProbes++
 			c.cProbes.Inc()
 			if qok && !math.IsNaN(q) && !math.IsInf(q, 0) {
+				c.tel.EndSpan(psp, m.Now())
 				return q, r.BPS, true
 			}
 			c.stats.SensorDropouts++
@@ -507,6 +548,7 @@ func (c *Controller) variantEvalMask(l *agentloop.Loop, m *machine.Machine, mask
 				// Still no signal: fail the probe conservatively. A probe
 				// that "misses QoS" drives the binary search toward more
 				// napping, which can never hurt the co-runner.
+				c.tel.EndSpan(psp, m.Now())
 				return -1, r.BPS, true
 			}
 		}

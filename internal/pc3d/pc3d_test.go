@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/phase"
 	"repro/internal/qos"
@@ -15,7 +16,7 @@ import (
 func TestBuildSearchSpace(t *testing.T) {
 	mod := workload.MustByName("libquantum").Module()
 	prof := sampling.Profile{"toffoli": 700, "sigma_x": 250, "main": 50}
-	ss := BuildSearchSpace(mod, prof)
+	ss := BuildSearchSpace(mod, prof.Deep())
 	if ss.TotalLoads != 636 {
 		t.Errorf("TotalLoads = %d, want 636", ss.TotalLoads)
 	}
@@ -49,10 +50,58 @@ func TestBuildSearchSpace(t *testing.T) {
 	}
 }
 
+// TestSearchSpaceBlockHeatOrdersSitesWithinFunction: two loads in one hot
+// function, sitting in different innermost loops, must rank by the heat of
+// their own blocks — the block-granular refinement of "Prioritize Hotter
+// Code". With equal block heat the order falls back to load ID.
+func TestSearchSpaceBlockHeatOrdersSitesWithinFunction(t *testing.T) {
+	mb := ir.NewModuleBuilder("blockheat")
+	mb.Global("g", 1<<20)
+	fb := mb.Function("f")
+	fb.Loop(64, func() { fb.Load(ir.Access{Global: "g", Pattern: ir.Seq, Stride: 64}) })
+	fb.Loop(64, func() { fb.Load(ir.Access{Global: "g", Pattern: ir.Seq, Stride: 64}) })
+	fb.Return()
+	main := mb.Function("main")
+	main.Call("f")
+	main.Return()
+	mb.SetEntry("main")
+	mod := mb.MustBuild()
+
+	// Locate each load's enclosing block straight from the IR.
+	blockOf := map[int]string{}
+	var ids []int
+	for _, b := range mod.Func("f").Blocks {
+		for _, in := range b.Instrs {
+			if ld, ok := in.(*ir.Load); ok {
+				blockOf[ld.ID] = b.Name
+				ids = append(ids, ld.ID)
+			}
+		}
+	}
+	if len(ids) != 2 || blockOf[ids[0]] == blockOf[ids[1]] {
+		t.Fatalf("fixture: want 2 loads in distinct blocks, got ids=%v blocks=%v", ids, blockOf)
+	}
+
+	// The layout-later load's block is far hotter: it must rank first.
+	prof := sampling.NewDeepProfile()
+	prof.Add("f", blockOf[ids[0]], -1, 10)
+	prof.Add("f", blockOf[ids[1]], -1, 900)
+	ss := BuildSearchSpace(mod, prof)
+	if len(ss.Sites) != 2 || ss.Sites[0] != ids[1] || ss.Sites[1] != ids[0] {
+		t.Errorf("Sites = %v, want [%d %d] (block heat ordering)", ss.Sites, ids[1], ids[0])
+	}
+
+	// Function-granularity profile (no block heat): load-ID order.
+	flat := BuildSearchSpace(mod, sampling.Profile{"f": 910}.Deep())
+	if len(flat.Sites) != 2 || flat.Sites[0] != ids[0] || flat.Sites[1] != ids[1] {
+		t.Errorf("flat Sites = %v, want [%d %d] (ID fallback)", flat.Sites, ids[0], ids[1])
+	}
+}
+
 func TestSearchSpaceUncoveredExcluded(t *testing.T) {
 	mod := workload.MustByName("libquantum").Module()
 	// Only toffoli sampled: sigma_x and all cold functions excluded.
-	ss := BuildSearchSpace(mod, sampling.Profile{"toffoli": 100})
+	ss := BuildSearchSpace(mod, sampling.Profile{"toffoli": 100}.Deep())
 	if len(ss.Sites) != 8 {
 		t.Errorf("Sites = %d, want 8 (toffoli only)", len(ss.Sites))
 	}
@@ -60,7 +109,7 @@ func TestSearchSpaceUncoveredExcluded(t *testing.T) {
 		t.Errorf("Covered = %d, want 28", len(ss.Covered))
 	}
 	// Empty profile: nothing searchable.
-	ss0 := BuildSearchSpace(mod, sampling.Profile{})
+	ss0 := BuildSearchSpace(mod, sampling.Profile{}.Deep())
 	if len(ss0.Sites) != 0 || len(ss0.Covered) != 0 {
 		t.Error("empty profile produced a non-empty space")
 	}

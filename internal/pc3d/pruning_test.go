@@ -20,7 +20,7 @@ func TestSearchSpacePrunesInvariantLoads(t *testing.T) {
 	for _, f := range mod.Funcs {
 		prof[f.Name] = 100
 	}
-	ss := BuildSearchSpace(mod, prof)
+	ss := BuildSearchSpace(mod, prof.Deep())
 
 	// Find the pinned loads at max depth straight from the IR.
 	wantInv := map[int]bool{}
@@ -74,7 +74,7 @@ func TestSearchSpaceNoPinNoPrune(t *testing.T) {
 	for _, f := range mod.Funcs {
 		prof[f.Name] = 100
 	}
-	if ss := BuildSearchSpace(mod, prof); len(ss.Invariant) != 0 {
+	if ss := BuildSearchSpace(mod, prof.Deep()); len(ss.Invariant) != 0 {
 		t.Fatalf("bst has no pinned loads but Invariant = %v", ss.Invariant)
 	}
 }

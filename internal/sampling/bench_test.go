@@ -1,0 +1,49 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkPCSamplerGranularity compares simulation throughput with no
+// sampler, a function-granularity sampler, and the full block+site deep
+// sampler on the same load-heavy program. The deep-profile contract is
+// that block-granular attribution costs less than 5% over the
+// function-granular fallback: one sample per quantum does a block lookup
+// and two map increments either way, so the delta is noise-level.
+//
+//	go test ./internal/sampling -bench Granularity -count 5
+func BenchmarkPCSamplerGranularity(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		sample   bool
+		flatOnly bool
+	}{
+		{"sampler=off", false, false},
+		{"granularity=function", true, true},
+		{"granularity=block", true, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := machine.New(machine.Config{Cores: 1})
+			p, err := m.Attach(0, twoHotFuncs(b), machine.ProcessOptions{Restart: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var s *PCSampler
+			if tc.sample {
+				s = NewPCSampler(p, m.Config().QuantumCycles)
+				s.SetFunctionGranularity(tc.flatOnly)
+				m.AddAgent(s)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RunQuanta(1)
+			}
+			b.StopTimer()
+			if s != nil {
+				b.ReportMetric(float64(s.Samples())/float64(b.N), "samples/quantum")
+			}
+		})
+	}
+}

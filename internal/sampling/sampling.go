@@ -1,8 +1,8 @@
 // Package sampling provides the runtime's two monitoring primitives
 // (Section III-B-3): periodic program-counter sampling attributed to
-// high-level code structures (functions), and hardware-performance-monitor
-// readings (instructions, branches, cycles, shared-cache misses) turned
-// into rates.
+// high-level code structures (functions, basic blocks and load sites —
+// see DeepProfile), and hardware-performance-monitor readings
+// (instructions, branches, cycles, shared-cache misses) turned into rates.
 //
 // PC samples drive introspection — which code regions are hot, and how hot
 // regions change over time. HPM readings drive both introspection (host
@@ -79,7 +79,9 @@ type PCSampler struct {
 	next     uint64
 	window   Profile
 	lifetime Profile
+	deep     *DeepProfile
 	samples  uint64
+	flatOnly bool
 }
 
 // NewPCSampler samples proc every intervalCycles.
@@ -89,8 +91,14 @@ func NewPCSampler(proc *machine.Process, intervalCycles uint64) *PCSampler {
 		interval: intervalCycles,
 		window:   make(Profile),
 		lifetime: make(Profile),
+		deep:     NewDeepProfile(),
 	}
 }
+
+// SetFunctionGranularity restricts attribution to function granularity
+// (no block or load-site breakdown) — the pre-block baseline, kept so the
+// benchmark suite can pin the overhead of the deep path against it.
+func (s *PCSampler) SetFunctionGranularity(on bool) { s.flatOnly = on }
 
 // Tick takes due samples. With quantum-granularity ticks, one sample is
 // taken per elapsed interval.
@@ -101,13 +109,24 @@ func (s *PCSampler) Tick(m *machine.Machine) {
 	}
 	for s.next <= now {
 		s.next += s.interval
-		fn := s.proc.CurrentFunc()
-		if fn == "" {
+		if s.flatOnly {
+			fn := s.proc.CurrentFunc()
+			if fn == "" {
+				continue
+			}
+			s.window[fn]++
+			s.lifetime[fn]++
+			s.samples++
 			continue
 		}
-		s.window[fn]++
-		s.lifetime[fn]++
+		smp, ok := s.proc.CurrentSample()
+		if !ok {
+			continue
+		}
+		s.window[smp.Func]++
+		s.lifetime[smp.Func]++
 		s.samples++
+		s.deep.Add(smp.Func, smp.Block, smp.LoadID, 1)
 	}
 }
 
@@ -119,6 +138,11 @@ func (s *PCSampler) Window() Profile { return s.window.Clone() }
 
 // Lifetime returns the all-time profile.
 func (s *PCSampler) Lifetime() Profile { return s.lifetime.Clone() }
+
+// DeepLifetime returns the all-time hierarchical (function → block → site)
+// profile. Empty (but non-nil) when SetFunctionGranularity(true) was in
+// effect for every sample.
+func (s *PCSampler) DeepLifetime() *DeepProfile { return s.deep.Clone() }
 
 // ResetWindow starts a fresh windowed profile (on phase change).
 func (s *PCSampler) ResetWindow() { s.window = make(Profile) }

@@ -11,7 +11,7 @@ import (
 
 // twoHotFuncs builds a program spending ~90% of time in "heavy" and ~10%
 // in "light".
-func twoHotFuncs(t *testing.T) *progbin.Binary {
+func twoHotFuncs(t testing.TB) *progbin.Binary {
 	t.Helper()
 	mb := ir.NewModuleBuilder("twohot")
 	mb.Global("g", 1<<16)

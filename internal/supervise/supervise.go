@@ -114,6 +114,11 @@ type Supervisor struct {
 	backoff      uint64 // cycles
 	stats        Stats
 
+	// spRecovery spans one reap→…→re-attach episode; spBackoff spans each
+	// backoff wait inside it (one per failed builder attempt).
+	spRecovery telemetry.SpanID
+	spBackoff  telemetry.SpanID
+
 	tel       *telemetry.Registry
 	cReaps    *telemetry.Counter
 	cRestarts *telemetry.Counter
@@ -216,6 +221,10 @@ func (s *Supervisor) reap(m *machine.Machine) {
 	s.retryAt = m.Now() + s.backoff
 	backoffSec := float64(s.backoff) / m.Config().FreqHz
 	s.gHealthy.Set(0)
+	s.spRecovery = s.tel.StartSpan("supervise.recovery", m.Now(), 0)
+	s.tel.SpanAttrs(s.spRecovery, telemetry.Num("reverted_slots", float64(reverted)))
+	s.spBackoff = s.tel.StartSpan("supervise.backoff", m.Now(), s.spRecovery)
+	s.tel.SpanAttrs(s.spBackoff, telemetry.Num("backoff_s", backoffSec))
 	s.tel.Emit(telemetry.Event{
 		At: m.Now(), Kind: telemetry.EvReap,
 		Value: float64(reverted), Detail: telemetry.FormatFloat(backoffSec),
@@ -226,6 +235,7 @@ func (s *Supervisor) reap(m *machine.Machine) {
 }
 
 func (s *Supervisor) restart(m *machine.Machine) {
+	s.tel.EndSpan(s.spBackoff, m.Now())
 	sess, err := s.build()
 	if err != nil {
 		s.stats.RestartFailures++
@@ -233,6 +243,11 @@ func (s *Supervisor) restart(m *machine.Machine) {
 		s.retryAt = m.Now() + s.backoff
 		s.trace("re-attach failed at %.3fs: %v; retry in %.3fs",
 			m.NowSeconds(), err, float64(s.backoff)/m.Config().FreqHz)
+		sp := s.tel.StartSpan("supervise.restart", m.Now(), s.spRecovery)
+		s.tel.SpanAttrs(sp, telemetry.Str("error", err.Error()))
+		s.tel.EndSpan(sp, m.Now())
+		s.spBackoff = s.tel.StartSpan("supervise.backoff", m.Now(), s.spRecovery)
+		s.tel.SpanAttrs(s.spBackoff, telemetry.Num("backoff_s", float64(s.backoff)/m.Config().FreqHz))
 		s.bumpBackoff(m)
 		return
 	}
@@ -244,6 +259,11 @@ func (s *Supervisor) restart(m *machine.Machine) {
 	s.tel.Emit(telemetry.Event{
 		At: m.Now(), Kind: telemetry.EvReattach, Value: float64(s.stats.Restarts),
 	})
+	sp := s.tel.StartSpan("supervise.restart", m.Now(), s.spRecovery)
+	s.tel.SpanAttrs(sp, telemetry.Num("restart", float64(s.stats.Restarts)))
+	s.tel.EndSpan(sp, m.Now())
+	s.tel.EndSpan(s.spRecovery, m.Now())
+	s.spRecovery, s.spBackoff = 0, 0
 	s.trace("runtime re-attached at %.3fs (restart %d)", m.NowSeconds(), s.stats.Restarts)
 }
 

@@ -27,6 +27,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,6 +42,11 @@ type Config struct {
 	// dropped (and counted in protean_telemetry_trace_dropped_total).
 	// 0 means the default (8192); negative disables tracing entirely.
 	TraceCap int
+	// SpanCap bounds the span store: once full, new spans are dropped
+	// (newest — dropping old spans would orphan retained children) and
+	// counted in protean_telemetry_spans_dropped_total. 0 means the
+	// default (8192); negative disables spans entirely.
+	SpanCap int
 }
 
 // DefaultTraceCap is the event-buffer bound used when Config.TraceCap is 0.
@@ -132,6 +138,52 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the p-quantile (p clamped to [0,1]) by linear
+// interpolation within the bucket containing the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Returns NaN for an
+// empty (or nil) histogram. A rank landing in the +Inf bucket reports the
+// highest finite bound (the estimate cannot exceed observed bounds); a
+// histogram with only a +Inf bucket returns NaN.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.n == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.n)
+	cum := 0.0
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if c == 0 || cum < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		upper := h.bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		if upper <= lower {
+			// First bucket with a non-positive bound: no width to
+			// interpolate over.
+			return upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry holds one machine's instruments and event trace. Not safe for
 // concurrent use: it belongs to the goroutine simulating that machine.
 // Merge per-server registries after the workers join (MergeFrom).
@@ -142,6 +194,7 @@ type Registry struct {
 	help     map[string]string
 
 	trace *traceBuf
+	spans *spanBuf
 }
 
 // New builds a registry.
@@ -158,6 +211,13 @@ func New(cfg Config) *Registry {
 	}
 	if cap > 0 {
 		r.trace = newTraceBuf(cap)
+	}
+	scap := cfg.SpanCap
+	if scap == 0 {
+		scap = DefaultSpanCap
+	}
+	if scap > 0 {
+		r.spans = newSpanBuf(scap)
 	}
 	return r
 }
@@ -295,6 +355,60 @@ func (r *Registry) MergeFrom(src *Registry, server int) {
 		}
 		r.trace.dropped += src.trace.dropped
 	}
+	r.mergeSpans(src, server)
+}
+
+// Clone deep-copies the registry — instruments, event trace and spans.
+// The live scrape surface uses it to publish consistent read-only
+// snapshots of a simulation's single-writer registry to another
+// goroutine; the owner clones, then hands the clone across a mutex.
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	out := &Registry{
+		counters: make(map[string]*Counter, len(r.counters)),
+		gauges:   make(map[string]*Gauge, len(r.gauges)),
+		hists:    make(map[string]*Histogram, len(r.hists)),
+		help:     make(map[string]string, len(r.help)),
+	}
+	for k, c := range r.counters {
+		out.counters[k] = &Counter{v: c.v}
+	}
+	for k, g := range r.gauges {
+		out.gauges[k] = &Gauge{v: g.v}
+	}
+	for k, h := range r.hists {
+		out.hists[k] = &Histogram{
+			bounds: append([]float64(nil), h.bounds...),
+			counts: append([]uint64(nil), h.counts...),
+			sum:    h.sum, n: h.n,
+		}
+	}
+	for k, v := range r.help {
+		out.help[k] = v
+	}
+	if r.trace != nil {
+		t := newTraceBuf(r.trace.cap)
+		t.events_ = append([]Event(nil), r.trace.events_...)
+		t.start = r.trace.start
+		t.seq = r.trace.seq
+		t.dropped = r.trace.dropped
+		out.trace = t
+	}
+	if r.spans != nil {
+		s := newSpanBuf(r.spans.cap)
+		s.spans = make([]Span, len(r.spans.spans))
+		for i, sp := range r.spans.spans {
+			sp.Attrs = append([]Attr(nil), sp.Attrs...)
+			s.spans[i] = sp
+			s.byID[sp.ID] = i
+		}
+		s.dropped = r.spans.dropped
+		s.ambient = r.spans.ambient
+		out.spans = s
+	}
+	return out
 }
 
 // fmtFloat renders a float deterministically (shortest round-trip form).
@@ -330,24 +444,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		// Trace accounting is itself a counter, surfaced uniformly.
 		all = append(all, metric{metricName("telemetry", "trace_dropped_total"), 3})
 	}
+	if r.spans != nil {
+		all = append(all, metric{metricName("telemetry", "spans_dropped_total"), 4})
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].full < all[j].full })
 	var b strings.Builder
 	for _, m := range all {
 		switch m.kind {
-		case 0, 3:
+		case 0, 3, 4:
 			h := r.help[m.full]
-			if m.kind == 3 {
+			switch m.kind {
+			case 3:
 				h = "trace events dropped by the bounded ring (oldest first)"
+			case 4:
+				h = "spans dropped by the bounded store (newest first)"
 			}
 			if h != "" {
 				fmt.Fprintf(&b, "# HELP %s %s\n", m.full, h)
 			}
 			fmt.Fprintf(&b, "# TYPE %s counter\n", m.full)
 			v := uint64(0)
-			if m.kind == 0 {
+			switch m.kind {
+			case 0:
 				v = r.counters[m.full].v
-			} else {
+			case 3:
 				v = r.trace.dropped
+			case 4:
+				v = r.spans.dropped
 			}
 			fmt.Fprintf(&b, "%s %d\n", m.full, v)
 		case 1:
