@@ -20,6 +20,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/datacenter"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -151,6 +153,73 @@ func BenchmarkFigure18EnergyEfficiency(b *testing.B) {
 		sum += v
 	}
 	b.ReportMetric(sum/float64(len(tables[0].Rows)), "mean-efficiency-ratio")
+}
+
+// BenchmarkFigureMigrate regenerates the migration artifact and reports
+// the measured p99 QoS-tail lift (on minus off, in QoS points).
+func BenchmarkFigureMigrate(b *testing.B) {
+	tables := runArtifact(b, "figmigrate")
+	off, err := strconv.ParseFloat(tables[0].Rows[0][3], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	on, err := strconv.ParseFloat(tables[0].Rows[1][3], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(on-off, "p99-tail-lift")
+}
+
+// ---------------------------------------------------------------- baselines
+
+// BenchmarkMachineInstructions is the simulator's raw speed baseline:
+// simulated instructions retired per wall-clock second by one core
+// interpreting a plain binary. scripts/bench.sh records it in
+// BENCH_machine.json so regressions in the interpreter's hot loop show up
+// as a number, not a feeling.
+func BenchmarkMachineInstructions(b *testing.B) {
+	bin, err := workload.MustByName("libquantum").CompilePlain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(machine.Config{Cores: 1})
+	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := p.Counters().Insts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunSeconds(0.25)
+	}
+	insts := p.Counters().Insts - start
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/sec")
+}
+
+// BenchmarkFleetQuanta is the cluster-side capacity baseline: scheduling
+// quanta executed across every simulated server per wall-clock second, on
+// a small SystemNone fleet (no PC3D search, so the number tracks the
+// simulation plane itself). Paired with BenchmarkMachineInstructions in
+// BENCH_machine.json.
+func BenchmarkFleetQuanta(b *testing.B) {
+	mix, _ := datacenter.MixByName("WL1")
+	var quanta uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleet.Config{
+			Servers: 8, Instances: 4, Webservice: "web-search", Mix: mix,
+			System: fleet.SystemNone, Policy: fleet.RoundRobin{}, Seed: 1,
+			SoloSeconds: 0.25, SettleSeconds: 0.5, MeasureSeconds: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Run(); err != nil {
+			b.Fatal(err)
+		}
+		quanta += f.Telemetry().CounterValue("machine", "quanta_total")
+	}
+	b.ReportMetric(float64(quanta)/b.Elapsed().Seconds(), "fleet-quanta/sec")
 }
 
 // ---------------------------------------------------------------- ablations

@@ -10,6 +10,7 @@
 //	fleet -servers 16 -mix WL2 -system reqos -diurnal 20 -load-low 0.3 -load-high 0.9
 //	fleet -servers 8 -chaos -crash-rate 0.3 -runtime-mttf 5 -qos-dropout 0.2
 //	fleet -servers 8 -metrics metrics.prom -trace trace.jsonl
+//	fleet -servers 12 -system none -migrate -contend-window 0.5 -contend-q 0.75 -contend-out contend.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/contend"
 	"repro/internal/datacenter"
 	"repro/internal/faults"
 	"repro/internal/fleet"
@@ -55,6 +57,13 @@ func main() {
 		runtimeMTTF = flag.Float64("runtime-mttf", 0, "protean runtime mean time to failure, seconds (0 = never)")
 		qosDropout  = flag.Float64("qos-dropout", 0, "probability each QoS sensor window goes dark")
 		dropoutSecs = flag.Float64("dropout-seconds", 0.2, "QoS sensor dropout window length, seconds")
+
+		migrate       = flag.Bool("migrate", false, "enable contention-detection → live batch migration")
+		contendWindow = flag.Float64("contend-window", 0.5, "migration decision-epoch length, seconds")
+		contendQ      = flag.Float64("contend-q", 0.75, "detector quantile for the contention threshold")
+		migrateBudget = flag.Int("migrate-budget", 1, "max migrations per decision epoch")
+		blackout      = flag.Float64("blackout", 0.25, "migration blackout (modeled cost), seconds")
+		contendPath   = flag.String("contend-out", "", "write the final contention/migration status as JSON to this file (- = stdout)")
 
 		metricsPath = flag.String("metrics", "", "write the cluster telemetry rollup in Prometheus text format to this file (- = stdout)")
 		tracePath   = flag.String("trace", "", "write the merged event trace as JSONL to this file (- = stdout)")
@@ -101,6 +110,16 @@ func main() {
 		}
 	}
 
+	var mg *fleet.MigrationConfig
+	if *migrate {
+		mg = &fleet.MigrationConfig{
+			WindowSeconds:   *contendWindow,
+			BlackoutSeconds: *blackout,
+			BudgetPerEpoch:  *migrateBudget,
+			Detector:        contend.Config{Quantile: *contendQ},
+		}
+	}
+
 	f, err := fleet.New(fleet.Config{
 		Servers:            *servers,
 		Instances:          *instances,
@@ -118,6 +137,7 @@ func main() {
 		PhaseSpreadSeconds: *spread,
 		MaxSites:           *maxSites,
 		Chaos:              ch,
+		Migration:          mg,
 	})
 	if err != nil {
 		failErr(err)
@@ -133,7 +153,7 @@ func main() {
 		if err != nil {
 			failErr(err)
 		}
-		fmt.Printf("serving /metrics /trace /profile /healthz on %s\n", ln.Addr())
+		fmt.Printf("serving /metrics /trace /profile /contend /healthz on %s\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, f.Handler()); err != nil {
 				fail("serve: %v", err)
@@ -166,6 +186,13 @@ func main() {
 			m.DegradedUtilization.Mean, m.DegradedUtilization.P50, m.DegradedUtilization.Min)
 	}
 
+	if mg != nil {
+		fmt.Printf("\nlive migration:\n")
+		fmt.Printf("  migrations:            %d (%d batch quanta lost to blackouts)\n", m.Migrations, m.MigrationQuantaLost)
+		fmt.Printf("  contended servers:     %d at the last decision epoch\n", m.ContendedServers)
+		fmt.Printf("  QoS tail:              p95 %.3f  p99 %.3f (levels 95%%/99%% of servers meet)\n", m.QoS.P05, m.QoS.P01)
+	}
+
 	fmt.Printf("\nper-app mean utilization:\n")
 	for _, app := range mix.Apps {
 		if u, ok := m.PerApp[app]; ok {
@@ -192,6 +219,19 @@ func main() {
 	}
 	if *profilePath != "" {
 		if err := writeExport(*profilePath, f.WriteProfile); err != nil {
+			failErr(err)
+		}
+	}
+	if *contendPath != "" {
+		err := writeExport(*contendPath, func(w io.Writer) error {
+			st := f.ContendStatus()
+			if st == nil {
+				_, err := io.WriteString(w, "{\"epoch\": 0}\n")
+				return err
+			}
+			return st.WriteJSON(w)
+		})
+		if err != nil {
 			failErr(err)
 		}
 	}

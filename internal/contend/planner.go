@@ -1,0 +1,94 @@
+package contend
+
+import "sort"
+
+// Candidate is a batch instance eligible for eviction: it lives on a
+// contended server, and Score estimates how much interference it causes
+// (the fleet feeds the contention-aware scheduler's measure here — the
+// app's solo LLC misses per second).
+type Candidate struct {
+	// Server is the contended server hosting the instance.
+	Server int
+	// App names the batch instance.
+	App string
+	// Score is the estimated interference (higher = evict first).
+	Score float64
+}
+
+// Target is a potential destination server.
+type Target struct {
+	// Server is the server index.
+	Server int
+	// Load is the server's current offered webservice load in [0,1]
+	// (lower = preferred destination).
+	Load float64
+	// Eligible marks a server that can actually absorb an instance:
+	// alive, batch-free, not contended, no arrival already inbound.
+	Eligible bool
+}
+
+// Move is one planned migration.
+type Move struct {
+	// From and To are source and destination server indices.
+	From, To int
+	// App is the migrating batch instance.
+	App string
+	// Score is the evicted candidate's interference estimate.
+	Score float64
+}
+
+// tieHash mixes the seed with a server index (splitmix64-style) so
+// exact-measure ties order reproducibly but not always toward low indices
+// — the same discipline the fleet uses for per-server machine seeds.
+func tieHash(seed int64, idx int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(idx+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PlanMoves ranks candidates by descending interference score and lands
+// each on the least-loaded eligible target, one instance per target, up to
+// budget moves per call. budget <= 0 plans nothing (migration disabled).
+// The plan is a pure function of (seed, candidates, targets): ties in
+// score break toward the lower server index; ties in load break by a
+// seeded hash of the server index, then index.
+func PlanMoves(seed int64, cands []Candidate, targets []Target, budget int) []Move {
+	if budget <= 0 || len(cands) == 0 {
+		return nil
+	}
+	cs := append([]Candidate(nil), cands...)
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].Score != cs[b].Score {
+			return cs[a].Score > cs[b].Score
+		}
+		return cs[a].Server < cs[b].Server
+	})
+	var ts []Target
+	for _, t := range targets {
+		if t.Eligible {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].Load != ts[b].Load {
+			return ts[a].Load < ts[b].Load
+		}
+		ha, hb := tieHash(seed, ts[a].Server), tieHash(seed, ts[b].Server)
+		if ha != hb {
+			return ha < hb
+		}
+		return ts[a].Server < ts[b].Server
+	})
+	var moves []Move
+	for _, c := range cs {
+		if len(moves) >= budget || len(ts) == 0 {
+			break
+		}
+		t := ts[0]
+		ts = ts[1:]
+		moves = append(moves, Move{From: c.Server, To: t.Server, App: c.App, Score: c.Score})
+	}
+	return moves
+}

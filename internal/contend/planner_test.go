@@ -1,0 +1,134 @@
+package contend
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanMovesRanksByInterference(t *testing.T) {
+	cands := []Candidate{
+		{Server: 2, App: "bzip2", Score: 5},
+		{Server: 7, App: "milc", Score: 50},
+	}
+	targets := []Target{
+		{Server: 1, Load: 0.4, Eligible: true},
+		{Server: 3, Load: 0.1, Eligible: true},
+		{Server: 4, Load: 0.9, Eligible: false},
+	}
+	moves := PlanMoves(1, cands, targets, 4)
+	want := []Move{
+		{From: 7, To: 3, App: "milc", Score: 50}, // worst aggressor → least-loaded
+		{From: 2, To: 1, App: "bzip2", Score: 5},
+	}
+	if !reflect.DeepEqual(moves, want) {
+		t.Fatalf("moves = %+v, want %+v", moves, want)
+	}
+}
+
+func TestPlanMovesBudgetAndEligibility(t *testing.T) {
+	cands := []Candidate{
+		{Server: 0, App: "a", Score: 3},
+		{Server: 1, App: "b", Score: 2},
+		{Server: 2, App: "c", Score: 1},
+	}
+	targets := []Target{
+		{Server: 5, Load: 0.2, Eligible: true},
+		{Server: 6, Load: 0.3, Eligible: true},
+		{Server: 7, Load: 0.0, Eligible: false}, // tempting but ineligible
+	}
+	if moves := PlanMoves(1, cands, targets, 1); len(moves) != 1 || moves[0].To != 5 {
+		t.Fatalf("budget 1: %+v", moves)
+	}
+	// Budget above both candidate and target count: one instance per
+	// target, never a double booking.
+	moves := PlanMoves(1, cands, targets, 10)
+	if len(moves) != 2 {
+		t.Fatalf("want 2 moves (2 eligible targets), got %+v", moves)
+	}
+	seen := map[int]bool{}
+	for _, mv := range moves {
+		if mv.To == 7 {
+			t.Fatalf("planned onto ineligible target: %+v", mv)
+		}
+		if seen[mv.To] {
+			t.Fatalf("double-booked target %d: %+v", mv.To, moves)
+		}
+		seen[mv.To] = true
+	}
+	if moves := PlanMoves(1, cands, targets, 0); moves != nil {
+		t.Fatalf("budget 0 planned %+v", moves)
+	}
+	if moves := PlanMoves(1, nil, targets, 3); moves != nil {
+		t.Fatalf("no candidates planned %+v", moves)
+	}
+}
+
+func TestPlanMovesTieBreaksDeterministic(t *testing.T) {
+	cands := []Candidate{
+		{Server: 0, App: "a", Score: 1},
+		{Server: 1, App: "b", Score: 1}, // score tie → lower index first
+	}
+	targets := []Target{
+		{Server: 4, Load: 0.5, Eligible: true},
+		{Server: 5, Load: 0.5, Eligible: true}, // load tie → seeded hash
+	}
+	m1 := PlanMoves(7, cands, targets, 2)
+	m2 := PlanMoves(7, cands, targets, 2)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("same seed, different plans: %+v vs %+v", m1, m2)
+	}
+	if len(m1) != 2 || m1[0].From != 0 || m1[1].From != 1 {
+		t.Fatalf("score tie should break toward the lower server index: %+v", m1)
+	}
+}
+
+// TestPlanMovesChurn drives repeated plan/apply rounds over a synthetic
+// assignment — the migration churn the fleet's scheduler sees — and checks
+// the invariants that matter: no double booking within or across rounds
+// while occupancy is tracked, and the plan settles once contention clears.
+func TestPlanMovesChurn(t *testing.T) {
+	const n = 12
+	hosting := map[int]string{0: "milc", 1: "bzip2", 2: "sphinx3", 3: "libquantum"}
+	pressure := map[string]float64{"milc": 40, "libquantum": 30, "sphinx3": 20, "bzip2": 10}
+	contended := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	totalMoves := 0
+	for round := 0; round < 8; round++ {
+		var cands []Candidate
+		for srv := 0; srv < n; srv++ {
+			if contended[srv] && hosting[srv] != "" {
+				cands = append(cands, Candidate{Server: srv, App: hosting[srv], Score: pressure[hosting[srv]]})
+			}
+		}
+		var targets []Target
+		for srv := 0; srv < n; srv++ {
+			targets = append(targets, Target{
+				Server:   srv,
+				Load:     float64(srv) / n,
+				Eligible: !contended[srv] && hosting[srv] == "",
+			})
+		}
+		moves := PlanMoves(3, cands, targets, 2)
+		if round >= 2 && len(moves) != 0 {
+			t.Fatalf("round %d: contention cleared but still planning %+v", round, moves)
+		}
+		for _, mv := range moves {
+			if hosting[mv.To] != "" {
+				t.Fatalf("round %d: landed on occupied server %d", round, mv.To)
+			}
+			if contended[mv.To] {
+				t.Fatalf("round %d: landed on contended server %d", round, mv.To)
+			}
+			hosting[mv.To] = mv.App
+			delete(hosting, mv.From)
+			delete(contended, mv.From) // vacated server cools off
+			totalMoves++
+		}
+	}
+	if totalMoves != 4 {
+		t.Fatalf("churn moved %d instances, want all 4", totalMoves)
+	}
+	// Highest-pressure aggressors moved first onto the least-loaded servers.
+	if hosting[4] != "milc" {
+		t.Fatalf("worst aggressor should land on the least-loaded eligible server: %+v", hosting)
+	}
+}

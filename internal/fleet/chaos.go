@@ -5,11 +5,16 @@ import (
 	"sort"
 )
 
-// arrival is a batch instance re-placed onto a server mid-run after its
-// original server crashed.
+// arrival is a batch instance landing on a server mid-run: a chaos
+// re-placement after its original server crashed, or a live migration
+// landing after its blackout.
 type arrival struct {
 	App       string
 	AtSeconds float64
+	// migrated marks a live-migration landing (vs a crash re-placement);
+	// from is then the source server index.
+	migrated bool
+	from     int
 }
 
 // serverPlan is one server's precomputed fault schedule. Computing the

@@ -23,18 +23,12 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/datacenter"
 	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/machine"
-	"repro/internal/pc3d"
-	"repro/internal/phase"
 	"repro/internal/progbin"
-	"repro/internal/qos"
-	"repro/internal/reqos"
 	"repro/internal/sampling"
-	"repro/internal/supervise"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -128,6 +122,13 @@ type Config struct {
 	// nothing. Chaos.Seed defaults to Seed, so one seed pins placement and
 	// failures together.
 	Chaos *faults.Chaos
+	// Migration enables the online contention-detection → live-migration
+	// control loop (internal/contend): the run advances in decision
+	// epochs, a streaming detector flags contended servers from their
+	// counters, and flagged servers' batch instances migrate to
+	// least-loaded healthy servers after a blackout. Nil keeps placement
+	// static (the PRs-1–5 behavior, bit-for-bit).
+	Migration *MigrationConfig
 	// Telemetry, when non-nil, receives the cluster rollup: every server
 	// simulates with its own single-writer registry (machine, core, pc3d
 	// and supervise all report into it), and after the workers join the
@@ -171,6 +172,10 @@ func (c Config) withDefaults() Config {
 		}
 		c.Chaos = &ch
 	}
+	if c.Migration != nil {
+		mg := c.Migration.withDefaults(c)
+		c.Migration = &mg
+	}
 	return c
 }
 
@@ -193,11 +198,15 @@ func (c Config) validate() error {
 // ServerResult is one server's measured steady-state outcome.
 type ServerResult struct {
 	Index int
-	// App is the batch instance the server ended up hosting: the placed
-	// instance, or a re-placed arrival absorbed after another server's
-	// crash ("" for a server that stayed batch-free).
+	// App is the last batch instance the server hosted: the placed
+	// instance, a re-placed arrival absorbed after another server's
+	// crash, or a migration landing ("" for a server that never hosted
+	// batch work). A migrated-out server keeps the departed app's name so
+	// its pre-eviction batch work stays attributed.
 	App string
-	// Utilization is the batch app's BPS normalized to its solo BPS.
+	// Utilization is the batch work done during the measurement window
+	// normalized to solo rates — banked across migrations, so a server
+	// that hosted for only part of the window reports the partial work.
 	Utilization float64
 	// QoS is the webservice's delivered quality: normalized IPS when
 	// saturated, served/offered when load-gated. A crash scales it by the
@@ -221,11 +230,21 @@ type ServerResult struct {
 	// sensor windows. Per-event counts live on the telemetry rollup
 	// (Fleet.Telemetry) rather than being duplicated here.
 	Faulted bool
+
+	// Migration outcomes (zero when Config.Migration is nil).
+
+	// MigratedIn counts live-migrated batch instances that landed here;
+	// MigratedOut counts instances evicted from here by the planner.
+	MigratedIn  int
+	MigratedOut int
 }
 
-// Dist summarizes a cluster-wide value distribution.
+// Dist summarizes a cluster-wide value distribution. P05 and P01 are the
+// low-end tails: for a quality metric (higher = better) they are the
+// levels 95% and 99% of servers meet or exceed — the "p95/p99 tail" of
+// QoS reporting.
 type Dist struct {
-	Mean, P50, P95, Min float64
+	Mean, P50, P95, P05, P01, Min float64
 }
 
 func distOf(vals []float64) Dist {
@@ -245,7 +264,11 @@ func distOf(vals []float64) Dist {
 	for _, v := range s {
 		sum += v
 	}
-	return Dist{Mean: sum / float64(len(s)), P50: rank(0.50), P95: rank(0.95), Min: s[0]}
+	return Dist{
+		Mean: sum / float64(len(s)),
+		P50:  rank(0.50), P95: rank(0.95), P05: rank(0.05), P01: rank(0.01),
+		Min: s[0],
+	}
 }
 
 // Metrics aggregates a fleet run.
@@ -300,6 +323,16 @@ type Metrics struct {
 	// windows. They quantify how gracefully service degrades under faults.
 	DegradedQoS         Dist
 	DegradedUtilization Dist
+
+	// Migration aggregates (zero when Config.Migration is nil).
+
+	// Migrations counts executed live migrations; MigrationQuantaLost is
+	// the batch quanta spent in migration blackouts (the modeled cost);
+	// ContendedServers is the detector's flagged count at the last
+	// decision epoch.
+	Migrations          int
+	MigrationQuantaLost uint64
+	ContendedServers    int
 }
 
 // calibration holds the immutable solo measurements every server
@@ -334,6 +367,10 @@ type Fleet struct {
 	serverProf []map[string]*sampling.DeepProfile
 	// live is the scrape surface state; non-nil once Handler was called.
 	live *liveState
+	// contendMu guards contendStat, the migration control loop's latest
+	// published snapshot (served at /contend, exported after Run).
+	contendMu   sync.Mutex
+	contendStat *ContendStatus
 }
 
 // New validates the configuration and builds a fleet.
@@ -453,14 +490,36 @@ func (f *Fleet) Run() (Metrics, error) {
 	// One single-writer registry per server; workers write disjoint slots.
 	f.serverTel = make([]*telemetry.Registry, f.cfg.Servers)
 	f.serverProf = make([]map[string]*sampling.DeepProfile, f.cfg.Servers)
-	results := make([]ServerResult, f.cfg.Servers)
+	sims := make([]*serverSim, f.cfg.Servers)
 	err := f.forEach(f.cfg.Servers, func(i int) error {
-		res, err := f.runServer(i, assignment[i], plan.plans[i])
-		if err != nil {
-			return err
-		}
+		s, err := newServerSim(f, i, assignment[i], plan.plans[i])
+		sims[i] = s
+		return err
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	horizon := f.cfg.SettleSeconds + f.cfg.MeasureSeconds
+	if f.cfg.Migration != nil {
+		// Advance the fleet in decision epochs: every server stops at the
+		// epoch boundary, the (single-threaded) coordinator reads counters
+		// and applies migrations, then the next epoch begins. Decisions
+		// are pure functions of (seed, epoch counters), so the segmented
+		// timeline is bit-identical at any worker count.
+		err = f.runMigrated(sims, horizon)
+	} else {
+		err = f.forEach(f.cfg.Servers, func(i int) error {
+			return sims[i].advanceTo(horizon)
+		})
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	results := make([]ServerResult, f.cfg.Servers)
+	err = f.forEach(f.cfg.Servers, func(i int) error {
+		res, err := sims[i].finish()
 		results[i] = res
-		return nil
+		return err
 	})
 	if err != nil {
 		return Metrics{}, err
@@ -595,258 +654,6 @@ func (f *Fleet) place(apps []string) error {
 	return nil
 }
 
-// runServer simulates one server end to end: webservice on core 0, batch
-// instance (if any) on core 1, the protean runtime on core 2. The plan
-// drives fault events: re-placed batch arrivals attach mid-run, and a
-// server crash stops the simulation cold (nothing on the machine makes
-// further progress).
-func (f *Fleet) runServer(idx int, app string, plan serverPlan) (ServerResult, error) {
-	cfg := f.cfg
-	reg := telemetry.New(telemetry.Config{})
-	f.serverTel[idx] = reg
-	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx), Telemetry: reg})
-	freq := m.Config().FreqHz
-
-	wsOpts := machine.ProcessOptions{Restart: true}
-	tr := f.trace(idx)
-	if tr != nil {
-		wsOpts = machine.ProcessOptions{Gated: true}
-	}
-	ws, err := m.Attach(0, f.cal.plain[cfg.Webservice], wsOpts)
-	if err != nil {
-		return ServerResult{}, err
-	}
-	var gen *loadgen.Generator
-	if tr != nil {
-		gen = loadgen.NewGenerator(ws, tr, f.cal.wsPeakQPS)
-		m.AddAgent(gen)
-	}
-
-	// The fleet keeps its own PC samplers (independent of the protean
-	// runtime's) so every server contributes block-granular deep profiles,
-	// whatever the mitigation system. Sampling only reads process state.
-	type appSampler struct {
-		app string
-		smp *sampling.PCSampler
-	}
-	wsSmp := sampling.NewPCSampler(ws, m.Config().QuantumCycles)
-	m.AddAgent(wsSmp)
-	samplers := []appSampler{{cfg.Webservice, wsSmp}}
-	profSnapshot := func() map[string]*sampling.DeepProfile {
-		out := make(map[string]*sampling.DeepProfile, len(samplers))
-		for _, as := range samplers {
-			d := as.smp.DeepLifetime()
-			if p := out[as.app]; p != nil {
-				p.Merge(d)
-			} else {
-				out[as.app] = d
-			}
-		}
-		return out
-	}
-	if f.live != nil {
-		m.AddAgent(&livePublisher{
-			live: f.live, idx: idx, reg: reg, prof: profSnapshot,
-			step: uint64(publishEveryQuanta) * m.Config().QuantumCycles,
-		})
-	}
-
-	// Per-server fault hooks (all nil without chaos).
-	var compileFault func(string, uint64) error
-	var rtCrashFn, dropFn func(uint64) bool
-	dropNaN := false
-	if cfg.Chaos.Enabled() {
-		compileFault = cfg.Chaos.CompileFault(idx)
-		rtCrashFn = cfg.Chaos.RuntimeCrashFn(idx, freq, m.Config().QuantumCycles)
-		dropFn = cfg.Chaos.DropoutFn(idx, freq)
-		dropNaN = cfg.Chaos.QoSDropoutNaN
-	}
-
-	var host *machine.Process
-	var hostApp string
-	var sup *supervise.Supervisor
-	defer func() {
-		if sup != nil {
-			sup.Close()
-		}
-	}()
-
-	// attachBatch wires a batch instance plus its QoS monitor and
-	// mitigation policy; called at t=0 for the placed instance and again at
-	// arrival events (only between machine quanta).
-	attachBatch := func(a string) error {
-		hb := f.cal.plain[a]
-		if cfg.System == SystemPC3D {
-			hb = f.cal.protean[a]
-		}
-		h, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
-		if err != nil {
-			return err
-		}
-		host, hostApp = h, a
-		hostSmp := sampling.NewPCSampler(host, m.Config().QuantumCycles)
-		m.AddAgent(hostSmp)
-		samplers = append(samplers, appSampler{a, hostSmp})
-		var src qos.Source
-		var win qos.WindowScorer
-		var extSig func(*machine.Machine) phase.Signature
-		if gen == nil {
-			flux := qos.NewFluxMonitor(m, host, ws, 0, 0)
-			flux.ReferenceIPS = f.cal.wsSoloIPS
-			m.AddAgent(flux)
-			src = flux
-			win = &qos.FluxWindow{Flux: flux, Ext: ws}
-			extSig = func(*machine.Machine) phase.Signature {
-				solo, _ := flux.SoloIPS()
-				return phase.Signature{Rate: solo}
-			}
-		} else {
-			tq := qos.NewThroughputQoS(m, ws, gen, 0)
-			m.AddAgent(tq)
-			src = tq
-			win = &qos.ThroughputWindow{Proc: ws, Gen: gen}
-			extSig = func(mm *machine.Machine) phase.Signature {
-				return phase.Signature{Rate: gen.CurrentLoad(mm)}
-			}
-		}
-		switch cfg.System {
-		case SystemPC3D:
-			if dropFn != nil {
-				src = &faults.FlakySource{Src: src, M: m, Drop: dropFn, NaN: dropNaN}
-				win = &faults.FlakyWindow{Win: win, Drop: dropFn, NaN: dropNaN}
-			}
-			build := func() (*supervise.Session, error) {
-				rt, err := core.New(core.Config{
-					Machine: m, Host: host, RuntimeCore: 2,
-					CompileFault: compileFault, Telemetry: reg,
-				})
-				if err != nil {
-					return nil, err
-				}
-				ctrl := pc3d.New(pc3d.Config{
-					Runtime: rt, Steady: src, Window: win, ExtSig: extSig,
-					Target: cfg.Target, MaxSites: cfg.MaxSites, Telemetry: reg,
-				})
-				return &supervise.Session{Runtime: rt, Policy: ctrl, Close: ctrl.Close}, nil
-			}
-			s, err := supervise.New(m, host, build, supervise.Config{CrashFn: rtCrashFn, Telemetry: reg})
-			if err != nil {
-				return err
-			}
-			sup = s
-			m.AddAgent(sup)
-		case SystemReQoS:
-			m.AddAgent(reqos.New(host, src, reqos.Options{Target: cfg.Target}))
-		case SystemNone:
-			// Co-location with no mitigation.
-		}
-		return nil
-	}
-	if app != "" {
-		if err := attachBatch(app); err != nil {
-			return ServerResult{}, err
-		}
-	}
-
-	// Event-driven timeline: advance in segments to each arrival, the
-	// measurement snapshot, and the crash (or the end), whichever is next.
-	runUntil := func(tSeconds float64) {
-		target := uint64(tSeconds * freq)
-		if target <= m.Now() {
-			return
-		}
-		if quanta := int((target - m.Now()) / m.Config().QuantumCycles); quanta > 0 {
-			m.RunQuanta(quanta)
-		}
-	}
-	horizon := cfg.SettleSeconds + cfg.MeasureSeconds
-	stop := math.Min(plan.crashAtSeconds, horizon)
-	res := ServerResult{Index: idx, App: app, Load: 1, Availability: 1}
-	res.Crashed = plan.crashes()
-
-	var ws0, h0 machine.Counters
-	var off0 uint64
-	snapped := false
-	snapshot := func() {
-		runUntil(cfg.SettleSeconds)
-		ws0 = ws.Counters()
-		if host != nil {
-			h0 = host.Counters()
-		}
-		if gen != nil {
-			off0 = gen.Offered()
-		}
-		snapped = true
-	}
-	for _, ar := range plan.arrivals {
-		if ar.AtSeconds >= stop {
-			break
-		}
-		if !snapped && ar.AtSeconds > cfg.SettleSeconds {
-			snapshot()
-		}
-		runUntil(ar.AtSeconds)
-		if host == nil {
-			if err := attachBatch(ar.App); err != nil {
-				return ServerResult{}, err
-			}
-			res.App = ar.App
-			res.Absorbed++
-			reg.Counter("fleet", "replacements_absorbed_total", "re-placed batch instances absorbed after another server's crash").Inc()
-			reg.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvReplacement, Func: ar.App})
-		}
-	}
-	if !snapped && stop > cfg.SettleSeconds {
-		snapshot()
-	}
-	runUntil(stop)
-
-	// A crash inside the measurement window scales delivered QoS by the
-	// up fraction; a crash before it zeroes the measurement entirely.
-	upSeconds := math.Max(0, stop-cfg.SettleSeconds)
-	res.Availability = math.Min(1, upSeconds/cfg.MeasureSeconds)
-	if snapped {
-		wsd := ws.Counters().Sub(ws0)
-		if gen != nil {
-			offered := gen.Offered() - off0
-			served := wsd.Completions
-			res.Load = float64(offered) / cfg.MeasureSeconds / f.cal.wsPeakQPS
-			if offered == 0 {
-				res.QoS = res.Availability
-			} else {
-				res.QoS = math.Min(1, float64(served)/float64(offered)) * res.Availability
-			}
-		} else {
-			// Insts stop at the crash, so the solo-normalized rate already
-			// reflects the down time.
-			res.QoS = float64(wsd.Insts) / cfg.MeasureSeconds / f.cal.wsSoloIPS
-		}
-		if host != nil {
-			hd := host.Counters().Sub(h0)
-			res.Utilization = float64(hd.Branches) / cfg.MeasureSeconds / f.cal.soloBPS[hostApp]
-		}
-	} else {
-		res.QoS, res.Load = 0, 0
-	}
-	if res.Crashed {
-		reg.Counter("fleet", "server_crashes_total", "whole-server failures").Inc()
-		reg.Emit(telemetry.Event{At: m.Now(), Kind: telemetry.EvServerCrash})
-	}
-	reg.Gauge("fleet", "availability_sum", "sum of per-server up fractions (divide by server count for the mean)").Set(res.Availability)
-	// A surviving server is fault-affected when any failure touched it; the
-	// per-event counts live on the registry.
-	res.Faulted = !res.Crashed && (res.Absorbed > 0 ||
-		reg.CounterValue("supervise", "reaps_total") > 0 ||
-		reg.CounterValue("pc3d", "compile_failures_total") > 0 ||
-		reg.CounterValue("pc3d", "sensor_dropouts_total") > 0)
-	f.serverProf[idx] = profSnapshot()
-	if f.live != nil {
-		// Final deposit so post-run scrapes see the completed server.
-		f.live.publish(idx, reg.Clone(), profSnapshot())
-	}
-	return res, nil
-}
-
 // aggregate folds per-server results into cluster metrics, in server-index
 // order so floating-point sums are identical at any worker count.
 func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
@@ -868,6 +675,9 @@ func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 	mt.RuntimeRestarts = int(f.tel.CounterValue("supervise", "restarts_total"))
 	mt.CompileFailures = int(f.tel.CounterValue("pc3d", "compile_failures_total"))
 	mt.SensorDropouts = int(f.tel.CounterValue("pc3d", "sensor_dropouts_total"))
+	mt.Migrations = int(f.tel.CounterValue("contend", "migrations_total"))
+	mt.MigrationQuantaLost = uint64(f.tel.CounterValue("contend", "migration_quanta_lost_total"))
+	mt.ContendedServers = int(f.tel.GaugeValue("contend", "contended_servers"))
 	var utils, qs, degQ, degU []float64
 	availSum := 0.0
 	perAppN := make(map[string]int)

@@ -1,0 +1,269 @@
+// Live batch migration: the online control loop that closes the gap
+// between "placement happened once" and the paper's always-reacting
+// warehouse. With Config.Migration set, the fleet timeline advances in
+// decision epochs. At every epoch boundary all servers stop (the same
+// worker pool advances them; segment boundaries change nothing about what
+// each machine computes), and a single-threaded coordinator:
+//
+//  1. samples every server's counters since the previous epoch (CPI,
+//     MPKI, LLC miss bandwidth, offered load),
+//  2. feeds them to the internal/contend streaming detector, whose
+//     quantile thresholds with hysteresis and cooldown flag contended
+//     servers without flapping,
+//  3. asks the planner for up to BudgetPerEpoch moves — evict the
+//     highest-pressure batch instance from a contended server, land it on
+//     the least-loaded eligible server — and
+//  4. applies each move: the source detaches its instance (policy closed,
+//     instance agents gated off, core freed), and the destination
+//     attaches it BlackoutSeconds later; the blackout is the modeled
+//     migration cost, charged as lost batch quanta.
+//
+// Every decision is a pure function of (seed, epoch counters), so runs
+// are bit-identical at any -workers, and every decision leaves a trail:
+// contend.* counters, EvContended/EvMigration events, contend.decide /
+// contend.migrate spans, and the ContendStatus snapshot served at
+// /contend.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/contend"
+	"repro/internal/telemetry"
+)
+
+// MigrationConfig tunes the migration control loop.
+type MigrationConfig struct {
+	// WindowSeconds is the decision-epoch length (default 0.5): one
+	// detector sample per server per epoch.
+	WindowSeconds float64
+	// Detector tunes the streaming detector (zero fields take
+	// contend.Config defaults; Seed defaults to the fleet seed).
+	Detector contend.Config
+	// BudgetPerEpoch caps migrations per decision epoch (default 1).
+	BudgetPerEpoch int
+	// BlackoutSeconds is the migration cost model: the evicted instance
+	// runs nowhere for this long (default 0.25), and the lost quanta are
+	// charged to contend_migration_quanta_lost_total.
+	BlackoutSeconds float64
+}
+
+func (mc MigrationConfig) withDefaults(c Config) MigrationConfig {
+	if mc.WindowSeconds <= 0 {
+		mc.WindowSeconds = 0.5
+	}
+	if mc.BudgetPerEpoch <= 0 {
+		mc.BudgetPerEpoch = 1
+	}
+	if mc.BlackoutSeconds <= 0 {
+		mc.BlackoutSeconds = 0.25
+	}
+	if mc.Detector.Seed == 0 {
+		mc.Detector.Seed = c.Seed
+	}
+	mc.Detector = mc.Detector.WithDefaults()
+	return mc
+}
+
+// MoveRecord is one executed migration, for the ContendStatus export.
+type MoveRecord struct {
+	// Epoch and AtSeconds locate the decision; the instance lands at
+	// AtSeconds + BlackoutSeconds.
+	Epoch     int
+	AtSeconds float64
+	App       string
+	From, To  int
+}
+
+// ContendStatus is the migration control loop's published state: detector
+// thresholds and per-server verdicts at the latest decision epoch, plus
+// the cumulative move log. Served live at /contend and exportable after
+// the run for the determinism gate.
+type ContendStatus struct {
+	Epoch           int
+	AtSeconds       float64
+	WindowSeconds   float64
+	BlackoutSeconds float64
+	Budget          int
+	EnterThreshold  float64
+	ExitThreshold   float64
+	Contended       int
+	Migrations      uint64
+	QuantaLost      uint64
+	Servers         []contend.State
+	Moves           []MoveRecord
+}
+
+func (st *ContendStatus) clone() *ContendStatus {
+	c := *st
+	c.Servers = append([]contend.State(nil), st.Servers...)
+	c.Moves = append([]MoveRecord(nil), st.Moves...)
+	return &c
+}
+
+// WriteJSON renders the status as deterministic JSON: fixed field order,
+// canonical float formatting, no reflection — byte-identical at any
+// worker count under a fixed seed.
+func (st *ContendStatus) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	ff := telemetry.FormatFloat
+	fmt.Fprintf(&b, "{\n  \"epoch\": %d,\n  \"at_seconds\": %s,\n", st.Epoch, ff(st.AtSeconds))
+	fmt.Fprintf(&b, "  \"window_seconds\": %s,\n  \"blackout_seconds\": %s,\n  \"budget\": %d,\n",
+		ff(st.WindowSeconds), ff(st.BlackoutSeconds), st.Budget)
+	fmt.Fprintf(&b, "  \"enter_threshold\": %s,\n  \"exit_threshold\": %s,\n", ff(st.EnterThreshold), ff(st.ExitThreshold))
+	fmt.Fprintf(&b, "  \"contended\": %d,\n  \"migrations\": %d,\n  \"quanta_lost\": %d,\n",
+		st.Contended, st.Migrations, st.QuantaLost)
+	b.WriteString("  \"servers\": [")
+	for i, sv := range st.Servers {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		contended := "false"
+		if sv.Contended {
+			contended = "true"
+		}
+		fmt.Fprintf(&b, "\n    {\"server\": %d, \"score\": %s, \"mpki\": %s, \"miss_rate\": %s, \"util\": %s, \"samples\": %d, \"contended\": %s, \"cooldown\": %d, \"flipped_at\": %d}",
+			sv.Server, ff(sv.Score), ff(sv.MPKI), ff(sv.MissRate), ff(sv.Util), sv.Samples, contended, sv.Cooldown, sv.FlippedAt)
+	}
+	b.WriteString("\n  ],\n  \"moves\": [")
+	for i, mv := range st.Moves {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    {\"epoch\": %d, \"at_seconds\": %s, \"app\": %q, \"from\": %d, \"to\": %d}",
+			mv.Epoch, ff(mv.AtSeconds), mv.App, mv.From, mv.To)
+	}
+	b.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// publishContend deposits a snapshot for /contend and ContendStatus.
+func (f *Fleet) publishContend(st *ContendStatus) {
+	c := st.clone()
+	f.contendMu.Lock()
+	f.contendStat = c
+	f.contendMu.Unlock()
+}
+
+// ContendStatus returns the migration control loop's latest published
+// snapshot (nil before the first decision epoch, or when migration is
+// off). Safe to call from any goroutine.
+func (f *Fleet) ContendStatus() *ContendStatus {
+	f.contendMu.Lock()
+	defer f.contendMu.Unlock()
+	if f.contendStat == nil {
+		return nil
+	}
+	return f.contendStat.clone()
+}
+
+// runMigrated drives the decision-epoch loop described in the package
+// comment above. sims are already constructed and at t=0.
+func (f *Fleet) runMigrated(sims []*serverSim, horizon float64) error {
+	mc := *f.cfg.Migration
+	n := len(sims)
+	det := contend.New(n, mc.Detector)
+	cMig := f.tel.Counter("contend", "migrations_total", "live batch migrations executed")
+	cLost := f.tel.Counter("contend", "migration_quanta_lost_total", "batch quanta lost to migration blackouts")
+	gCont := f.tel.Gauge("contend", "contended_servers", "servers flagged contended at the latest decision epoch")
+	mcfg := sims[0].m.Config()
+	cyc := func(sec float64) uint64 { return uint64(sec * mcfg.FreqHz) }
+	blackoutQuanta := uint64(mc.BlackoutSeconds*mcfg.FreqHz) / mcfg.QuantumCycles
+	status := &ContendStatus{
+		WindowSeconds:   mc.WindowSeconds,
+		BlackoutSeconds: mc.BlackoutSeconds,
+		Budget:          mc.BudgetPerEpoch,
+	}
+	for e := 1; ; e++ {
+		t := float64(e) * mc.WindowSeconds
+		if t >= horizon-1e-9 {
+			// The final partial segment runs in finish(); no decision at
+			// the horizon itself.
+			break
+		}
+		if err := f.forEach(n, func(i int) error { return sims[i].advanceTo(t) }); err != nil {
+			return err
+		}
+		// Coordinator section: single-threaded, index order, deterministic.
+		samples := make([]contend.Sample, n)
+		for i, s := range sims {
+			samples[i] = s.contendSample()
+		}
+		verdicts := det.Observe(samples)
+		states := det.States()
+		for i, st := range states {
+			if st.FlippedAt == det.Epoch() {
+				v := 0.0
+				if st.Contended {
+					v = 1
+				}
+				sims[i].reg.Emit(telemetry.Event{
+					At: sims[i].m.Now(), Kind: telemetry.EvContended,
+					Value: v, Detail: telemetry.FormatFloat(st.Score),
+				})
+			}
+		}
+		gCont.Set(float64(det.Contended()))
+		spDecide := f.tel.StartSpan("contend.decide", cyc(t), 0)
+		f.tel.SpanAttrs(spDecide,
+			telemetry.Num("epoch", float64(det.Epoch())),
+			telemetry.Num("contended", float64(det.Contended())))
+		var moves []contend.Move
+		if t+mc.BlackoutSeconds < horizon {
+			var cands []contend.Candidate
+			targets := make([]contend.Target, 0, n)
+			for i, s := range sims {
+				alive := t < s.stop
+				if verdicts[i] && alive && s.host != nil {
+					cands = append(cands, contend.Candidate{
+						Server: i, App: s.hostApp, Score: f.cal.pressure[s.hostApp],
+					})
+				}
+				targets = append(targets, contend.Target{
+					Server: i, Load: samples[i].Util,
+					Eligible: alive && samples[i].Valid && !verdicts[i] &&
+						s.host == nil && len(s.pending) == 0,
+				})
+			}
+			moves = contend.PlanMoves(mc.Detector.Seed, cands, targets, mc.BudgetPerEpoch)
+		}
+		for _, mv := range moves {
+			src, dst := sims[mv.From], sims[mv.To]
+			app := src.detachBatch()
+			if app == "" {
+				continue
+			}
+			land := t + mc.BlackoutSeconds
+			src.reg.Counter("contend", "migrations_out_total", "batch instances evicted from this server by the migration planner").Inc()
+			src.reg.Emit(telemetry.Event{
+				At: src.m.Now(), Kind: telemetry.EvMigration,
+				Func: app, Value: float64(mv.To), Detail: "out",
+			})
+			dst.scheduleArrival(arrival{App: app, AtSeconds: land, migrated: true, from: mv.From})
+			cMig.Inc()
+			cLost.Add(blackoutQuanta)
+			sp := f.tel.StartSpan("contend.migrate", cyc(t), spDecide)
+			f.tel.SpanAttrs(sp,
+				telemetry.Str("app", app),
+				telemetry.Num("from", float64(mv.From)),
+				telemetry.Num("to", float64(mv.To)))
+			f.tel.EndSpan(sp, cyc(land))
+			status.Moves = append(status.Moves, MoveRecord{
+				Epoch: det.Epoch(), AtSeconds: t, App: app, From: mv.From, To: mv.To,
+			})
+		}
+		f.tel.EndSpan(spDecide, cyc(t))
+		status.Epoch = det.Epoch()
+		status.AtSeconds = t
+		status.EnterThreshold, status.ExitThreshold = det.Thresholds()
+		status.Contended = det.Contended()
+		status.Migrations = cMig.Value()
+		status.QuantaLost = cLost.Value()
+		status.Servers = states
+		f.publishContend(status)
+	}
+	return nil
+}

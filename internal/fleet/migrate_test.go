@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/contend"
+	"repro/internal/datacenter"
+)
+
+// migrateConfig is a small saturated fleet where contention detection has
+// something to find: two er-naive aggressors among six servers, no
+// mitigation, and a detector tuned to the short test timeline.
+func migrateConfig(workers int, policy Policy) Config {
+	return Config{
+		Servers:        6,
+		Instances:      2,
+		Webservice:     "web-search",
+		Mix:            datacenter.Mix{Name: "test", Apps: []string{"er-naive"}},
+		System:         SystemNone,
+		Policy:         policy,
+		Seed:           42,
+		Workers:        workers,
+		SoloSeconds:    0.5,
+		SettleSeconds:  0.25,
+		MeasureSeconds: 0.5,
+		Migration: &MigrationConfig{
+			WindowSeconds:   0.1,
+			BlackoutSeconds: 0.05,
+			BudgetPerEpoch:  2,
+			Detector: contend.Config{
+				Window: 2, MinSamples: 2, Cooldown: 1,
+				Quantile: 0.5, Enter: 1.15, Exit: 1.05,
+			},
+		},
+	}
+}
+
+type migrateRun struct {
+	m       Metrics
+	status  *ContendStatus
+	prom    string
+	jsonl   string
+	contend string
+	// placed marks servers that hosted an instance at t=0.
+	placed map[int]bool
+}
+
+func doMigrateRun(t *testing.T, cfg Config) migrateRun {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := make(map[int]bool)
+	for _, srv := range f.Placement() {
+		placed[srv] = true
+	}
+	var cj strings.Builder
+	st := f.ContendStatus()
+	if st != nil {
+		if err := st.WriteJSON(&cj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return migrateRun{
+		m:       m,
+		status:  st,
+		prom:    f.Telemetry().PrometheusText(),
+		jsonl:   f.Telemetry().JSONL(),
+		contend: cj.String(),
+		placed:  placed,
+	}
+}
+
+// TestMigrationMovesAggressors is the end-to-end control loop check: the
+// detector flags the co-located servers, the planner evicts their er-naive
+// instances, and the accounting (counters, per-server results, status
+// export) all agree on what happened.
+func TestMigrationMovesAggressors(t *testing.T) {
+	r := doMigrateRun(t, migrateConfig(2, RoundRobin{}))
+	m := r.m
+	if m.Migrations == 0 {
+		t.Fatal("no migrations executed; the detector never fired")
+	}
+	// Blackout 0.05s at 10 MHz / 10k-cycle quanta = 50 quanta per move.
+	if want := uint64(m.Migrations) * 50; m.MigrationQuantaLost != want {
+		t.Fatalf("MigrationQuantaLost = %d, want %d (%d moves × 50 quanta)", m.MigrationQuantaLost, want, m.Migrations)
+	}
+	in, out := 0, 0
+	for _, sr := range m.PerServer {
+		in += sr.MigratedIn
+		out += sr.MigratedOut
+	}
+	if out != m.Migrations || in != m.Migrations {
+		t.Fatalf("per-server migration counts (in %d, out %d) disagree with Migrations %d", in, out, m.Migrations)
+	}
+	if r.status == nil {
+		t.Fatal("ContendStatus is nil after a migration run")
+	}
+	if len(r.status.Servers) != 6 || r.status.Epoch < 2 {
+		t.Fatalf("status = epoch %d, %d servers", r.status.Epoch, len(r.status.Servers))
+	}
+	if len(r.status.Moves) != m.Migrations {
+		t.Fatalf("status logs %d moves, Metrics counted %d", len(r.status.Moves), m.Migrations)
+	}
+	for _, mv := range r.status.Moves {
+		if mv.From == mv.To || mv.App == "" {
+			t.Fatalf("malformed move record %+v", mv)
+		}
+	}
+	if !strings.Contains(r.prom, "contend_migrations_total") {
+		t.Fatal("rollup is missing contend_migrations_total")
+	}
+	if !strings.Contains(r.jsonl, `"kind":"migration"`) {
+		t.Fatal("trace is missing migration events")
+	}
+	// Batch work survives the move: both instances still report
+	// utilization somewhere, and the fleet total stays positive.
+	if m.BatchUnits <= 0 {
+		t.Fatalf("BatchUnits = %v after migration", m.BatchUnits)
+	}
+}
+
+// TestMigrationDeterministicAcrossWorkerCounts is the contract the ISSUE
+// pins: with migration enabled, metrics AND every export (Prometheus
+// text, JSONL trace, /contend JSON) are byte-identical between 1 and 8
+// workers — the epoch-barrier coordinator keeps live migration inside
+// the determinism envelope.
+func TestMigrationDeterministicAcrossWorkerCounts(t *testing.T) {
+	r1 := doMigrateRun(t, migrateConfig(1, RoundRobin{}))
+	r8 := doMigrateRun(t, migrateConfig(8, RoundRobin{}))
+	if !reflect.DeepEqual(r1.m, r8.m) {
+		t.Fatalf("metrics diverge across worker counts:\n1: %+v\n8: %+v", r1.m, r8.m)
+	}
+	if r1.prom != r8.prom {
+		t.Fatal("Prometheus export differs between -workers 1 and 8")
+	}
+	if r1.jsonl != r8.jsonl {
+		t.Fatal("JSONL trace differs between -workers 1 and 8")
+	}
+	if r1.contend == "" || r1.contend != r8.contend {
+		t.Fatal("/contend JSON differs between -workers 1 and 8")
+	}
+}
+
+// TestMigrationUnderPlacementPolicies exercises the re-placement paths the
+// satellite names: migration churn on top of both the least-loaded and the
+// contention-aware initial placements must stay well-formed (no double
+// occupancy, instances conserved).
+func TestMigrationUnderPlacementPolicies(t *testing.T) {
+	for _, policy := range []Policy{LeastLoaded{}, ContentionAware{}} {
+		cfg := migrateConfig(2, policy)
+		r := doMigrateRun(t, cfg)
+		hosting := 0
+		for _, sr := range r.m.PerServer {
+			if sr.Absorbed > 0 {
+				t.Fatalf("%s: server %d absorbed a chaos re-placement with chaos off", policy.Name(), sr.Index)
+			}
+			h := sr.MigratedIn - sr.MigratedOut
+			if r.placed[sr.Index] {
+				h++
+			}
+			if h < 0 || h > 1 {
+				t.Fatalf("%s: server %d occupancy %d (in %d, out %d, placed %v)",
+					policy.Name(), sr.Index, h, sr.MigratedIn, sr.MigratedOut, r.placed[sr.Index])
+			}
+			hosting += h
+		}
+		// Every instance is still hosted somewhere (blackouts are over by
+		// the horizon in this config, and no server crashes).
+		if hosting != cfg.Instances {
+			t.Fatalf("%s: %d instances hosted at end, want %d", policy.Name(), hosting, cfg.Instances)
+		}
+	}
+}

@@ -87,6 +87,9 @@ func (f *Fleet) Snapshot() (*telemetry.Registry, map[string]*sampling.DeepProfil
 //	/metrics  — Prometheus text of the merged per-server registries
 //	/trace    — Chrome trace-event JSON (spans + events; Perfetto-loadable)
 //	/profile  — folded stacks (app;func;block N) for flamegraph tools
+//	/contend  — JSON contention-detector state (per-server verdicts,
+//	            window quantile thresholds, migration log); {"epoch": 0}
+//	            until the migration loop publishes
 //	/healthz  — JSON liveness: servers, how many have published
 //
 // plus the standard net/http/pprof handlers under /debug/pprof/ for the
@@ -114,6 +117,16 @@ func (f *Fleet) Handler() http.Handler {
 		_, profs := f.Snapshot()
 		w.Header().Set("Content-Type", "text/plain")
 		writeFoldedProfiles(w, profs) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/contend", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := f.ContendStatus()
+		if st == nil {
+			// Migration off, or no decision epoch yet.
+			io.WriteString(w, "{\"epoch\": 0}\n") //nolint:errcheck // client went away
+			return
+		}
+		st.WriteJSON(w) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		f.live.mu.Lock()

@@ -1,0 +1,459 @@
+package fleet
+
+import (
+	"math"
+
+	"repro/internal/contend"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/pc3d"
+	"repro/internal/phase"
+	"repro/internal/qos"
+	"repro/internal/reqos"
+	"repro/internal/sampling"
+	"repro/internal/supervise"
+	"repro/internal/telemetry"
+)
+
+// gatedAgent wraps a batch-scoped agent so a live migration can switch it
+// off: machine agent lists are append-only, so evicting an instance
+// disables its samplers, monitors and policy in place rather than
+// removing them. While on, the wrapper is transparent.
+type gatedAgent struct {
+	a   machine.Agent
+	off bool
+}
+
+func (g *gatedAgent) Tick(m *machine.Machine) {
+	if !g.off {
+		g.a.Tick(m)
+	}
+}
+
+// appSampler ties a PC sampler to the app it profiles.
+type appSampler struct {
+	app string
+	smp *sampling.PCSampler
+}
+
+// serverSim is one server's in-flight simulation. The original
+// run-to-completion loop is split into stepwise advanceTo/finish calls so
+// the migration coordinator can stop every server at a decision-epoch
+// boundary, inspect counters, and hand batch instances off between
+// servers — while the no-migration path replays the exact same segments
+// in one pass. All methods are single-goroutine per sim; the only shared
+// state (calibration, plans) is immutable during the run.
+type serverSim struct {
+	f    *Fleet
+	idx  int
+	reg  *telemetry.Registry
+	m    *machine.Machine
+	freq float64
+	ws   *machine.Process
+	gen  *loadgen.Generator
+
+	samplers []appSampler
+
+	// Per-server fault hooks (all nil without chaos).
+	compileFault func(string, uint64) error
+	rtCrashFn    func(uint64) bool
+	dropFn       func(uint64) bool
+	dropNaN      bool
+
+	host    *machine.Process
+	hostApp string
+	sup     *supervise.Supervisor
+	// gates are the live batch instance's agents; detachBatch switches
+	// them off.
+	gates []*gatedAgent
+
+	// pending are future batch arrivals (chaos re-placements and migration
+	// landings), kept sorted by time.
+	pending []arrival
+	// stop is when this server halts (crash or horizon); horizon is the
+	// full run length.
+	stop    float64
+	horizon float64
+
+	res     ServerResult
+	snapped bool
+	ws0, h0 machine.Counters
+	off0    uint64
+	// utilNorm banks solo-normalized batch work (branches / solo BPS)
+	// measured so far, so utilization survives a mid-window migration.
+	utilNorm float64
+
+	// Contention-sample marks (deltas since the previous epoch sample).
+	lastSampleS   float64
+	lastWS        machine.Counters
+	lastLLC       uint64
+	hostInstsBank uint64
+	hostInstsMark uint64
+}
+
+// newServerSim wires one server: webservice on core 0 (gated behind the
+// offered-load trace when present), the placed batch instance (if any) on
+// core 1, the protean runtime on core 2.
+func newServerSim(f *Fleet, idx int, app string, plan serverPlan) (*serverSim, error) {
+	cfg := f.cfg
+	reg := telemetry.New(telemetry.Config{})
+	f.serverTel[idx] = reg
+	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx), Telemetry: reg})
+	s := &serverSim{
+		f: f, idx: idx, reg: reg, m: m, freq: m.Config().FreqHz,
+		horizon: cfg.SettleSeconds + cfg.MeasureSeconds,
+	}
+	s.stop = math.Min(plan.crashAtSeconds, s.horizon)
+	s.res = ServerResult{Index: idx, App: app, Load: 1, Availability: 1}
+	s.res.Crashed = plan.crashes()
+	s.pending = append([]arrival(nil), plan.arrivals...)
+
+	wsOpts := machine.ProcessOptions{Restart: true}
+	tr := f.trace(idx)
+	if tr != nil {
+		wsOpts = machine.ProcessOptions{Gated: true}
+	}
+	ws, err := m.Attach(0, f.cal.plain[cfg.Webservice], wsOpts)
+	if err != nil {
+		return nil, err
+	}
+	s.ws = ws
+	if tr != nil {
+		s.gen = loadgen.NewGenerator(ws, tr, f.cal.wsPeakQPS)
+		m.AddAgent(s.gen)
+	}
+
+	// The fleet keeps its own PC samplers (independent of the protean
+	// runtime's) so every server contributes block-granular deep profiles,
+	// whatever the mitigation system. Sampling only reads process state.
+	wsSmp := sampling.NewPCSampler(ws, m.Config().QuantumCycles)
+	m.AddAgent(wsSmp)
+	s.samplers = []appSampler{{cfg.Webservice, wsSmp}}
+	if f.live != nil {
+		m.AddAgent(&livePublisher{
+			live: f.live, idx: idx, reg: reg, prof: s.profSnapshot,
+			step: uint64(publishEveryQuanta) * m.Config().QuantumCycles,
+		})
+	}
+
+	if cfg.Chaos.Enabled() {
+		s.compileFault = cfg.Chaos.CompileFault(idx)
+		s.rtCrashFn = cfg.Chaos.RuntimeCrashFn(idx, s.freq, m.Config().QuantumCycles)
+		s.dropFn = cfg.Chaos.DropoutFn(idx, s.freq)
+		s.dropNaN = cfg.Chaos.QoSDropoutNaN
+	}
+
+	if app != "" {
+		if err := s.attachBatch(app); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// profSnapshot merges the samplers' lifetime deep profiles per app.
+func (s *serverSim) profSnapshot() map[string]*sampling.DeepProfile {
+	out := make(map[string]*sampling.DeepProfile, len(s.samplers))
+	for _, as := range s.samplers {
+		d := as.smp.DeepLifetime()
+		if p := out[as.app]; p != nil {
+			p.Merge(d)
+		} else {
+			out[as.app] = d
+		}
+	}
+	return out
+}
+
+// gate registers a batch-scoped agent behind an off switch.
+func (s *serverSim) gate(a machine.Agent) {
+	g := &gatedAgent{a: a}
+	s.gates = append(s.gates, g)
+	s.m.AddAgent(g)
+}
+
+// attachBatch wires a batch instance plus its QoS monitor and mitigation
+// policy; called at t=0 for the placed instance and again at arrival
+// events (only between machine quanta).
+func (s *serverSim) attachBatch(a string) error {
+	cfg := s.f.cfg
+	m := s.m
+	hb := s.f.cal.plain[a]
+	if cfg.System == SystemPC3D {
+		hb = s.f.cal.protean[a]
+	}
+	h, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	if err != nil {
+		return err
+	}
+	s.host, s.hostApp = h, a
+	host, ws, gen := s.host, s.ws, s.gen
+	hostSmp := sampling.NewPCSampler(host, m.Config().QuantumCycles)
+	s.gate(hostSmp)
+	s.samplers = append(s.samplers, appSampler{a, hostSmp})
+	var src qos.Source
+	var win qos.WindowScorer
+	var extSig func(*machine.Machine) phase.Signature
+	if gen == nil {
+		flux := qos.NewFluxMonitor(m, host, ws, 0, 0)
+		flux.ReferenceIPS = s.f.cal.wsSoloIPS
+		s.gate(flux)
+		src = flux
+		win = &qos.FluxWindow{Flux: flux, Ext: ws}
+		extSig = func(*machine.Machine) phase.Signature {
+			solo, _ := flux.SoloIPS()
+			return phase.Signature{Rate: solo}
+		}
+	} else {
+		tq := qos.NewThroughputQoS(m, ws, gen, 0)
+		s.gate(tq)
+		src = tq
+		win = &qos.ThroughputWindow{Proc: ws, Gen: gen}
+		extSig = func(mm *machine.Machine) phase.Signature {
+			return phase.Signature{Rate: gen.CurrentLoad(mm)}
+		}
+	}
+	switch cfg.System {
+	case SystemPC3D:
+		if s.dropFn != nil {
+			src = &faults.FlakySource{Src: src, M: m, Drop: s.dropFn, NaN: s.dropNaN}
+			win = &faults.FlakyWindow{Win: win, Drop: s.dropFn, NaN: s.dropNaN}
+		}
+		build := func() (*supervise.Session, error) {
+			rt, err := core.New(core.Config{
+				Machine: m, Host: host, RuntimeCore: 2,
+				CompileFault: s.compileFault, Telemetry: s.reg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ctrl := pc3d.New(pc3d.Config{
+				Runtime: rt, Steady: src, Window: win, ExtSig: extSig,
+				Target: cfg.Target, MaxSites: cfg.MaxSites, Telemetry: s.reg,
+			})
+			return &supervise.Session{Runtime: rt, Policy: ctrl, Close: ctrl.Close}, nil
+		}
+		sup, err := supervise.New(m, host, build, supervise.Config{CrashFn: s.rtCrashFn, Telemetry: s.reg})
+		if err != nil {
+			return err
+		}
+		s.sup = sup
+		s.gate(sup)
+	case SystemReQoS:
+		s.gate(reqos.New(host, src, reqos.Options{Target: cfg.Target}))
+	case SystemNone:
+		// Co-location with no mitigation.
+	}
+	return nil
+}
+
+// detachBatch evicts the live batch instance for migration: it banks the
+// utilization and instruction counts measured so far, closes the policy
+// session, gates every instance-scoped agent off, and frees core 1. The
+// webservice never stops. Returns the evicted app ("" if none).
+func (s *serverSim) detachBatch() string {
+	if s.host == nil {
+		return ""
+	}
+	app := s.hostApp
+	if s.snapped {
+		hd := s.host.Counters().Sub(s.h0)
+		s.utilNorm += float64(hd.Branches) / s.f.cal.soloBPS[app]
+	}
+	s.hostInstsBank += s.host.Counters().Insts - s.hostInstsMark
+	s.hostInstsMark = 0
+	if s.sup != nil {
+		s.sup.Close()
+		s.sup = nil
+	}
+	for _, g := range s.gates {
+		g.off = true
+	}
+	s.gates = nil
+	s.m.Detach(1)
+	s.host, s.hostApp = nil, ""
+	s.h0 = machine.Counters{}
+	s.res.MigratedOut++
+	return app
+}
+
+// scheduleArrival queues a future batch landing, keeping pending sorted
+// by (time, source index).
+func (s *serverSim) scheduleArrival(ar arrival) {
+	i := len(s.pending)
+	for i > 0 && s.pending[i-1].AtSeconds > ar.AtSeconds {
+		i--
+	}
+	s.pending = append(s.pending, arrival{})
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = ar
+}
+
+// runUntil advances the machine to tSeconds (whole quanta; no-op when
+// already there or past).
+func (s *serverSim) runUntil(tSeconds float64) {
+	target := uint64(tSeconds * s.freq)
+	if target <= s.m.Now() {
+		return
+	}
+	if quanta := int((target - s.m.Now()) / s.m.Config().QuantumCycles); quanta > 0 {
+		s.m.RunQuanta(quanta)
+	}
+}
+
+// maybeSnapshot takes the measurement-window baseline once the timeline
+// reaches the settle boundary (and the server survives into the window).
+func (s *serverSim) maybeSnapshot(at float64) {
+	cfg := s.f.cfg
+	if s.snapped || s.stop <= cfg.SettleSeconds || at < cfg.SettleSeconds {
+		return
+	}
+	s.runUntil(cfg.SettleSeconds)
+	s.ws0 = s.ws.Counters()
+	if s.host != nil {
+		s.h0 = s.host.Counters()
+	}
+	if s.gen != nil {
+		s.off0 = s.gen.Offered()
+	}
+	s.snapped = true
+}
+
+// advanceTo simulates up to tSeconds (clamped to the server's stop),
+// processing due arrivals and the measurement snapshot on the way. The
+// no-migration path calls it once with the horizon; the migration
+// coordinator calls it once per decision epoch — the segment boundaries
+// change nothing about what the machine computes.
+func (s *serverSim) advanceTo(tSeconds float64) error {
+	t := math.Min(tSeconds, s.stop)
+	for len(s.pending) > 0 {
+		ar := s.pending[0]
+		if ar.AtSeconds >= s.stop || ar.AtSeconds > t {
+			break
+		}
+		s.pending = s.pending[1:]
+		s.maybeSnapshot(ar.AtSeconds)
+		s.runUntil(ar.AtSeconds)
+		if s.host == nil {
+			if err := s.attachBatch(ar.App); err != nil {
+				return err
+			}
+			s.res.App = ar.App
+			if ar.migrated {
+				s.res.MigratedIn++
+				s.reg.Counter("contend", "migrations_in_total", "live-migrated batch instances landed on this server").Inc()
+				s.reg.Emit(telemetry.Event{At: s.m.Now(), Kind: telemetry.EvMigration, Func: ar.App, Value: float64(ar.from), Detail: "in"})
+			} else {
+				s.res.Absorbed++
+				s.reg.Counter("fleet", "replacements_absorbed_total", "re-placed batch instances absorbed after another server's crash").Inc()
+				s.reg.Emit(telemetry.Event{At: s.m.Now(), Kind: telemetry.EvReplacement, Func: ar.App})
+			}
+		}
+	}
+	s.maybeSnapshot(t)
+	s.runUntil(t)
+	return nil
+}
+
+// contendSample reads the contention signals accumulated since the
+// previous call: webservice CPI over active cycles, server-wide MPKI
+// (webservice + batch instructions, banked across migrations), LLC miss
+// bandwidth, and offered load. A server that made no progress (crashed)
+// or retired no webservice instructions yields an invalid sample.
+func (s *serverSim) contendSample() contend.Sample {
+	now := s.m.NowSeconds()
+	dt := now - s.lastSampleS
+	wc := s.ws.Counters()
+	var llc uint64
+	for c := 0; c < s.m.Config().Cores; c++ {
+		llc += s.m.Hierarchy().CoreStats(c).LLCMisses
+	}
+	dws := wc.Sub(s.lastWS)
+	dllc := llc - s.lastLLC
+	hostInsts := s.hostInstsBank
+	if s.host != nil {
+		hostInsts += s.host.Counters().Insts - s.hostInstsMark
+	}
+	// Reset the marks whether or not the sample is valid.
+	s.lastSampleS, s.lastWS, s.lastLLC = now, wc, llc
+	s.hostInstsBank = 0
+	if s.host != nil {
+		s.hostInstsMark = s.host.Counters().Insts
+	}
+	if dt <= 0 || dws.Insts == 0 {
+		return contend.Sample{}
+	}
+	active := dws.Cycles - dws.NapCycles - dws.SleepCycles - dws.StolenCycles - dws.IdleCycles
+	util := 1.0
+	if s.gen != nil {
+		util = s.gen.CurrentLoad(s.m)
+	}
+	return contend.Sample{
+		CPI:      float64(active) / float64(dws.Insts),
+		MPKI:     1000 * float64(dllc) / float64(dws.Insts+hostInsts),
+		MissRate: float64(dllc) / dt,
+		Util:     util,
+		Valid:    true,
+	}
+}
+
+// finish drains the timeline to the horizon, computes the server's
+// measured result, and releases the policy session.
+func (s *serverSim) finish() (ServerResult, error) {
+	cfg := s.f.cfg
+	if err := s.advanceTo(s.horizon); err != nil {
+		return ServerResult{}, err
+	}
+	if s.sup != nil {
+		s.sup.Close()
+		s.sup = nil
+	}
+	res := &s.res
+	// A crash inside the measurement window scales delivered QoS by the
+	// up fraction; a crash before it zeroes the measurement entirely.
+	upSeconds := math.Max(0, s.stop-cfg.SettleSeconds)
+	res.Availability = math.Min(1, upSeconds/cfg.MeasureSeconds)
+	if s.snapped {
+		wsd := s.ws.Counters().Sub(s.ws0)
+		if s.gen != nil {
+			offered := s.gen.Offered() - s.off0
+			served := wsd.Completions
+			res.Load = float64(offered) / cfg.MeasureSeconds / s.f.cal.wsPeakQPS
+			if offered == 0 {
+				res.QoS = res.Availability
+			} else {
+				res.QoS = math.Min(1, float64(served)/float64(offered)) * res.Availability
+			}
+		} else {
+			// Insts stop at the crash, so the solo-normalized rate already
+			// reflects the down time.
+			res.QoS = float64(wsd.Insts) / cfg.MeasureSeconds / s.f.cal.wsSoloIPS
+		}
+		if s.host != nil {
+			hd := s.host.Counters().Sub(s.h0)
+			s.utilNorm += float64(hd.Branches) / s.f.cal.soloBPS[s.hostApp]
+		}
+		res.Utilization = s.utilNorm / cfg.MeasureSeconds
+	} else {
+		res.QoS, res.Load = 0, 0
+	}
+	if res.Crashed {
+		s.reg.Counter("fleet", "server_crashes_total", "whole-server failures").Inc()
+		s.reg.Emit(telemetry.Event{At: s.m.Now(), Kind: telemetry.EvServerCrash})
+	}
+	s.reg.Gauge("fleet", "availability_sum", "sum of per-server up fractions (divide by server count for the mean)").Set(res.Availability)
+	// A surviving server is fault-affected when any failure touched it; the
+	// per-event counts live on the registry.
+	res.Faulted = !res.Crashed && (res.Absorbed > 0 ||
+		s.reg.CounterValue("supervise", "reaps_total") > 0 ||
+		s.reg.CounterValue("pc3d", "compile_failures_total") > 0 ||
+		s.reg.CounterValue("pc3d", "sensor_dropouts_total") > 0)
+	s.f.serverProf[s.idx] = s.profSnapshot()
+	if s.f.live != nil {
+		// Final deposit so post-run scrapes see the completed server.
+		s.f.live.publish(s.idx, s.reg.Clone(), s.profSnapshot())
+	}
+	return *res, nil
+}

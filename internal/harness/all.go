@@ -48,6 +48,7 @@ func Artifacts() []Artifact {
 		{Key: "fig18", Name: "Figure 18", Run: one((*Runner).Figure18)},
 		{Key: "fig17sim", Name: "Figures 17/18 (simulated fleet)", Run: (*Runner).Figure17Sim},
 		{Key: "figchaos", Name: "Chaos sweep (fault injection)", Run: one((*Runner).FigureChaos)},
+		{Key: "figmigrate", Name: "Migration sweep (contention-driven live migration)", Run: one((*Runner).FigureMigrate)},
 		{Key: "figtimeline", Name: "Timeline (event trace)", Run: one((*Runner).FigureTimeline)},
 		{Key: "figspans", Name: "Span trees (causal trace)", Run: one((*Runner).FigureSpans)},
 	}

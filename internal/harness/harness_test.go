@@ -380,11 +380,14 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 24 {
-		t.Errorf("artifacts = %d, want 24", len(arts))
+	if len(arts) != 25 {
+		t.Errorf("artifacts = %d, want 25", len(arts))
 	}
 	if _, err := ArtifactByKey("figchaos"); err != nil {
 		t.Errorf("figchaos missing: %v", err)
+	}
+	if _, err := ArtifactByKey("figmigrate"); err != nil {
+		t.Errorf("figmigrate missing: %v", err)
 	}
 	if _, err := ArtifactByKey("figtimeline"); err != nil {
 		t.Errorf("figtimeline missing: %v", err)

@@ -49,6 +49,13 @@ const (
 	// EvReplacement: a re-placed batch instance arrived on this server.
 	// Func = app name.
 	EvReplacement EventKind = "replacement"
+	// EvContended: the contention detector flipped this server's verdict.
+	// Value = 1 entering the contended set, 0 leaving it.
+	EvContended EventKind = "contended"
+	// EvMigration: a live batch migration touched this server. Func = app
+	// name, Value = the peer server index, Detail = "out" (instance
+	// evicted from here) or "in" (instance landed here after blackout).
+	EvMigration EventKind = "migration"
 )
 
 // Event is one structured trace entry. At is simulated cycles on the

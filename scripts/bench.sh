@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_machine.json, the per-machine performance baseline:
+# the interpreter's simulated instructions per wall-clock second and the
+# fleet simulator's scheduling quanta per wall-clock second. Run it on a
+# quiet machine and commit the result so perf regressions in the hot loops
+# show up as a diff.
+#
+#   scripts/bench.sh            # default -benchtime 3x
+#   BENCHTIME=10x scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_machine.json
+benchtime="${BENCHTIME:-3x}"
+
+raw="$(go test -run '^$' -bench 'BenchmarkMachineInstructions$|BenchmarkFleetQuanta$' -benchtime "$benchtime" .)"
+echo "$raw"
+
+# Custom metrics print as "<value> <unit>" pairs after ns/op; pick each
+# benchmark's value by its unit.
+metric() {
+  echo "$raw" | awk -v bench="$1" -v unit="$2" '
+    $1 ~ "^"bench {for (i = 2; i < NF; i++) if ($(i + 1) == unit) v = $i}
+    END {if (v == "") exit 1; print v}'
+}
+field() {
+  echo "$raw" | awk -v key="$1" 'index($0, key": ") == 1 {sub(key": ", ""); print; exit}'
+}
+
+insts="$(metric BenchmarkMachineInstructions insts/sec)"
+quanta="$(metric BenchmarkFleetQuanta fleet-quanta/sec)"
+
+cat > "$out" <<EOF
+{
+  "goos": "$(field goos)",
+  "goarch": "$(field goarch)",
+  "cpu": "$(field cpu)",
+  "go": "$(go env GOVERSION)",
+  "benchtime": "$benchtime",
+  "machine_insts_per_sec": $insts,
+  "fleet_quanta_per_sec": $quanta
+}
+EOF
+echo "wrote $out"
