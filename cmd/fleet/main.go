@@ -11,6 +11,7 @@
 //	fleet -servers 8 -chaos -crash-rate 0.3 -runtime-mttf 5 -qos-dropout 0.2
 //	fleet -servers 8 -metrics metrics.prom -trace trace.jsonl
 //	fleet -servers 12 -system none -migrate -contend-window 0.5 -contend-q 0.75 -contend-out contend.json
+//	fleet -servers 12 -migrate -move-land-fail 0.4 -sample-stale 0.05 -breaker-k 3 -audit-out audit.json
 package main
 
 import (
@@ -58,12 +59,24 @@ func main() {
 		qosDropout  = flag.Float64("qos-dropout", 0, "probability each QoS sensor window goes dark")
 		dropoutSecs = flag.Float64("dropout-seconds", 0.2, "QoS sensor dropout window length, seconds")
 
+		detachFail    = flag.Float64("move-detach-fail", 0, "per-move probability a migration fails before the source detaches")
+		landFail      = flag.Float64("move-land-fail", 0, "per-attempt probability a migration landing fails")
+		moveStall     = flag.Float64("move-stall-max", 0, "max extra blackout stall per move, seconds (uniform)")
+		sampleCorrupt = flag.Float64("sample-corrupt", 0, "per-(server,epoch) probability a detector sample arrives corrupted")
+		sampleStale   = flag.Float64("sample-stale", 0, "per-(server,epoch) probability a detector sample replays stale")
+
 		migrate       = flag.Bool("migrate", false, "enable contention-detection → live batch migration")
 		contendWindow = flag.Float64("contend-window", 0.5, "migration decision-epoch length, seconds")
 		contendQ      = flag.Float64("contend-q", 0.75, "detector quantile for the contention threshold")
 		migrateBudget = flag.Int("migrate-budget", 1, "max migrations per decision epoch")
 		blackout      = flag.Float64("blackout", 0.25, "migration blackout (modeled cost), seconds")
+		landAttempts  = flag.Int("migrate-retries", 0, "max landing attempts per move, planned destination included (0 = default 3)")
+		retryBackoff  = flag.Float64("retry-backoff", 0, "extra blackout before each retry landing, seconds (0 = blackout/2)")
+		rollbackPen   = flag.Float64("rollback-penalty", 0, "extra blackout charged when a move rolls back, seconds (0 = blackout)")
+		breakerK      = flag.Int("breaker-k", 0, "consecutive failed moves that trip the migration breaker (0 = default 3)")
+		breakerCool   = flag.Int("breaker-cooldown", 0, "epochs the tripped breaker stays open before a half-open probe (0 = default 8)")
 		contendPath   = flag.String("contend-out", "", "write the final contention/migration status as JSON to this file (- = stdout)")
+		auditPath     = flag.String("audit-out", "", "write the conservation auditor's report as JSON to this file (- = stdout)")
 
 		metricsPath = flag.String("metrics", "", "write the cluster telemetry rollup in Prometheus text format to this file (- = stdout)")
 		tracePath   = flag.String("trace", "", "write the merged event trace as JSONL to this file (- = stdout)")
@@ -91,7 +104,9 @@ func main() {
 	}
 
 	var ch *faults.Chaos
-	if *chaos || *crashRate > 0 || *compileFail > 0 || *runtimeMTTF > 0 || *qosDropout > 0 {
+	migrationFaults := *detachFail > 0 || *landFail > 0 || *moveStall > 0 ||
+		*sampleCorrupt > 0 || *sampleStale > 0
+	if *chaos || *crashRate > 0 || *compileFail > 0 || *runtimeMTTF > 0 || *qosDropout > 0 || migrationFaults {
 		ch = &faults.Chaos{
 			Seed:                    *faultSeed,
 			ServerCrashProb:         *crashRate,
@@ -100,8 +115,13 @@ func main() {
 			RuntimeCrashMTTFSeconds: *runtimeMTTF,
 			QoSDropoutProb:          *qosDropout,
 			QoSDropoutSeconds:       *dropoutSecs,
+			MoveDetachFailProb:      *detachFail,
+			MoveLandFailProb:        *landFail,
+			MoveStallMaxSeconds:     *moveStall,
+			SampleCorruptProb:       *sampleCorrupt,
+			SampleStaleProb:         *sampleStale,
 		}
-		if *chaos && *crashRate == 0 && *compileFail == 0 && *runtimeMTTF == 0 && *qosDropout == 0 {
+		if *chaos && *crashRate == 0 && *compileFail == 0 && *runtimeMTTF == 0 && *qosDropout == 0 && !migrationFaults {
 			// Bare -chaos: a moderate every-fault-class preset.
 			ch.ServerCrashProb = 0.3
 			ch.CompileFailProb = 0.15
@@ -113,10 +133,17 @@ func main() {
 	var mg *fleet.MigrationConfig
 	if *migrate {
 		mg = &fleet.MigrationConfig{
-			WindowSeconds:   *contendWindow,
-			BlackoutSeconds: *blackout,
-			BudgetPerEpoch:  *migrateBudget,
-			Detector:        contend.Config{Quantile: *contendQ},
+			WindowSeconds:          *contendWindow,
+			BlackoutSeconds:        *blackout,
+			BudgetPerEpoch:         *migrateBudget,
+			MaxLandAttempts:        *landAttempts,
+			RetryBackoffSeconds:    *retryBackoff,
+			RollbackPenaltySeconds: *rollbackPen,
+			Detector:               contend.Config{Quantile: *contendQ},
+			Breaker: contend.BreakerConfig{
+				FailureThreshold: *breakerK,
+				CooldownEpochs:   *breakerCool,
+			},
 		}
 	}
 
@@ -153,7 +180,7 @@ func main() {
 		if err != nil {
 			failErr(err)
 		}
-		fmt.Printf("serving /metrics /trace /profile /contend /healthz on %s\n", ln.Addr())
+		fmt.Printf("serving /metrics /trace /profile /contend /audit /healthz on %s\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, f.Handler()); err != nil {
 				fail("serve: %v", err)
@@ -191,6 +218,10 @@ func main() {
 		fmt.Printf("  migrations:            %d (%d batch quanta lost to blackouts)\n", m.Migrations, m.MigrationQuantaLost)
 		fmt.Printf("  contended servers:     %d at the last decision epoch\n", m.ContendedServers)
 		fmt.Printf("  QoS tail:              p95 %.3f  p99 %.3f (levels 95%%/99%% of servers meet)\n", m.QoS.P05, m.QoS.P01)
+		fmt.Printf("  failed moves:          %d (%d rollbacks, %d retries)\n", m.MovesFailed, m.MoveRollbacks, m.MoveRetries)
+		fmt.Printf("  breaker trips:         %d\n", m.BreakerTrips)
+		fmt.Printf("  sensor faults:         %d corrupt, %d stale detector samples\n", m.CorruptSamples, m.StaleSamples)
+		fmt.Printf("  audit violations:      %d (conservation, occupancy, monotonicity, accounting)\n", m.AuditViolations)
 	}
 
 	fmt.Printf("\nper-app mean utilization:\n")
@@ -230,6 +261,19 @@ func main() {
 				return err
 			}
 			return st.WriteJSON(w)
+		})
+		if err != nil {
+			failErr(err)
+		}
+	}
+	if *auditPath != "" {
+		err := writeExport(*auditPath, func(w io.Writer) error {
+			rep := f.AuditReport()
+			if rep == nil {
+				_, err := io.WriteString(w, "{\"epochs_checked\": 0}\n")
+				return err
+			}
+			return rep.WriteJSON(w)
 		})
 		if err != nil {
 			failErr(err)

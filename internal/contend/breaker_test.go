@@ -1,0 +1,151 @@
+package contend
+
+import "testing"
+
+func TestBreakerDefaults(t *testing.T) {
+	c := BreakerConfig{}.WithDefaults()
+	if c.FailureThreshold != 3 || c.CooldownEpochs != 8 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	b := NewBreaker(BreakerConfig{})
+	if b.State() != BreakerClosed || b.Trips() != 0 {
+		t.Fatalf("new breaker state %v trips %d, want closed/0", b.State(), b.Trips())
+	}
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, CooldownEpochs: 2})
+	b.RecordFailure()
+	b.RecordFailure()
+	// A success in between clears the run: the breaker only counts
+	// *consecutive* failures.
+	b.RecordSuccess()
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped after an interrupted failure run: %v", b.State())
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state %v trips %d after 3 consecutive failures, want open/1", b.State(), b.Trips())
+	}
+	if got := b.Budget(5); got != 0 {
+		t.Fatalf("open breaker admitted budget %d, want 0", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, CooldownEpochs: 2})
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	// Cooldown counts down one epoch at a time.
+	b.BeginEpoch()
+	if b.State() != BreakerOpen || b.Cooldown() != 1 {
+		t.Fatalf("state %v cooldown %d after 1 epoch, want open/1", b.State(), b.Cooldown())
+	}
+	b.BeginEpoch()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", b.State())
+	}
+	// Half-open admits exactly one probe move.
+	if got := b.Budget(5); got != 1 {
+		t.Fatalf("half-open budget %d, want 1", got)
+	}
+	// A successful probe re-arms.
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+	if got := b.Budget(5); got != 5 {
+		t.Fatalf("closed budget %d, want 5", got)
+	}
+}
+
+func TestBreakerProbeFailureRetrips(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, CooldownEpochs: 1})
+	b.RecordFailure()
+	b.BeginEpoch()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state %v trips %d after probe failure, want open/2", b.State(), b.Trips())
+	}
+}
+
+func TestBreakerTripCorrupt(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, CooldownEpochs: 4})
+	b.TripCorrupt()
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state %v trips %d after corrupt trip, want open/1", b.State(), b.Trips())
+	}
+	// Corrupt epochs while already open re-arm the cooldown without
+	// counting new trips.
+	b.BeginEpoch()
+	b.BeginEpoch()
+	if b.Cooldown() != 2 {
+		t.Fatalf("cooldown %d after 2 epochs, want 2", b.Cooldown())
+	}
+	b.TripCorrupt()
+	if b.Cooldown() != 4 || b.Trips() != 1 {
+		t.Fatalf("cooldown %d trips %d after re-arm, want 4/1", b.Cooldown(), b.Trips())
+	}
+}
+
+// TestEvictReleasesQuantile is the dead-server regression: a server whose
+// windows stay warm after it dies must not keep pinning the fleet
+// quantile. Evict clears its window and verdict so the thresholds are
+// computed from the survivors only — even if a stale sensor would
+// otherwise replay the corpse's last reading forever.
+func TestEvictReleasesQuantile(t *testing.T) {
+	// Server 3 runs hot at CPI 8 (flagged); server 2 runs warm at CPI 4,
+	// below the threshold that server 3's presence in the 0.75-quantile
+	// population holds up at enter = 6.25.
+	const n, mid, dead = 4, 2, 3
+	d := New(n, Config{Window: 2, MinSamples: 2})
+	samples := baseline(n, mid, 4.0, 10.0)
+	samples[dead] = Sample{CPI: 8.0, MPKI: 10.0, MissRate: 500, Util: 0.5, Valid: true}
+	for e := 0; e < 6; e++ {
+		d.Observe(samples)
+	}
+	if !d.States()[dead].Contended {
+		t.Fatal("hot server never flagged")
+	}
+	if d.States()[mid].Contended {
+		t.Fatal("warm server flagged while the hot server holds the quantile up")
+	}
+	enterBefore, _ := d.Thresholds()
+
+	// Server 3 dies. Evict it, then keep observing: its slot now reports
+	// invalid samples and must leave the threshold population immediately,
+	// even if a stale sensor would replay its last reading forever.
+	d.Evict(dead)
+	st := d.States()[dead]
+	if st.Contended || st.Samples != 0 {
+		t.Fatalf("evicted server still contended=%v samples=%d", st.Contended, st.Samples)
+	}
+	samples[dead] = Sample{}
+	var verdicts []bool
+	for e := 0; e < 4; e++ {
+		d.Evict(dead)
+		verdicts = d.Observe(samples)
+	}
+	enterAfter, _ := d.Thresholds()
+	if enterAfter >= enterBefore {
+		t.Fatalf("quantile still pinned by dead server: enter %v -> %v", enterBefore, enterAfter)
+	}
+	if verdicts[dead] {
+		t.Fatal("dead server still in the contended set")
+	}
+	if verdicts[0] || verdicts[1] {
+		t.Fatal("baseline survivors flagged against the dead server's stale threshold")
+	}
+	// With the corpse out of the population the threshold now reflects the
+	// survivors, so the warm server's genuine contention surfaces.
+	if !verdicts[mid] {
+		t.Fatal("warm survivor still hidden behind the dead server's quantile")
+	}
+}

@@ -207,6 +207,27 @@ func quantileOf(vals []float64, q float64) float64 {
 	return s[lo] + frac*(s[lo+1]-s[lo])
 }
 
+// Evict clears one server's rolling window and releases its verdict
+// immediately: a crashed server carries no signal, and keeping its stale
+// window warm would pin the fleet quantile on readings from a machine that
+// no longer exists — exactly what a stale sensor replaying old counters
+// would otherwise cause. The coordinator calls this for dead servers
+// before Observe, so no fault mode (including stale-sample injection) can
+// keep a corpse in the threshold population.
+func (d *Detector) Evict(server int) {
+	if server < 0 || server >= len(d.win) {
+		return
+	}
+	d.win[server].reset()
+	st := &d.st[server]
+	if st.Contended {
+		st.Contended = false
+		st.FlippedAt = d.epoch + 1 // released by the next Observe's epoch
+	}
+	st.Cooldown = 0
+	st.Score, st.MPKI, st.MissRate, st.Util, st.Samples = 0, 0, 0, 0, 0
+}
+
 // Observe ingests one fleet-wide sample vector (index = server), advances
 // every rolling window, recomputes the fleet-relative thresholds, and
 // returns the per-server verdicts. len(samples) must equal the detector's

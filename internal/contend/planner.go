@@ -48,6 +48,31 @@ func tieHash(seed int64, idx int) uint64 {
 	return x
 }
 
+// OrderTargets filters the eligible targets and sorts them in the
+// planner's preference order: ascending load, ties broken by a seeded hash
+// of the server index, then by index. The coordinator uses the same
+// ordering to pick fallback destinations when a landing fails, so the
+// retry sequence is exactly the plan the planner would have made.
+func OrderTargets(seed int64, targets []Target) []Target {
+	var ts []Target
+	for _, t := range targets {
+		if t.Eligible {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].Load != ts[b].Load {
+			return ts[a].Load < ts[b].Load
+		}
+		ha, hb := tieHash(seed, ts[a].Server), tieHash(seed, ts[b].Server)
+		if ha != hb {
+			return ha < hb
+		}
+		return ts[a].Server < ts[b].Server
+	})
+	return ts
+}
+
 // PlanMoves ranks candidates by descending interference score and lands
 // each on the least-loaded eligible target, one instance per target, up to
 // budget moves per call. budget <= 0 plans nothing (migration disabled).
@@ -65,22 +90,7 @@ func PlanMoves(seed int64, cands []Candidate, targets []Target, budget int) []Mo
 		}
 		return cs[a].Server < cs[b].Server
 	})
-	var ts []Target
-	for _, t := range targets {
-		if t.Eligible {
-			ts = append(ts, t)
-		}
-	}
-	sort.Slice(ts, func(a, b int) bool {
-		if ts[a].Load != ts[b].Load {
-			return ts[a].Load < ts[b].Load
-		}
-		ha, hb := tieHash(seed, ts[a].Server), tieHash(seed, ts[b].Server)
-		if ha != hb {
-			return ha < hb
-		}
-		return ts[a].Server < ts[b].Server
-	})
+	ts := OrderTargets(seed, targets)
 	var moves []Move
 	for _, c := range cs {
 		if len(moves) >= budget || len(ts) == 0 {

@@ -58,6 +58,32 @@ type Chaos struct {
 	// (a corrupted sensor) instead of reporting absence (a dead sensor).
 	// Policies must survive both.
 	QoSDropoutNaN bool
+
+	// Migration fault domain: faults inside the live-migration machinery
+	// itself, so the fleet's move path has to be transactional rather than
+	// assume detach/land always succeed. Every decision is a pure hash of
+	// (seed, domain, server, move-sequence), same contract as above.
+
+	// MoveDetachFailProb is the probability a planned move fails before the
+	// source detaches its instance (the move aborts in place; the instance
+	// never leaves the source).
+	MoveDetachFailProb float64
+	// MoveLandFailProb is the per-attempt probability a landing fails at
+	// its destination (the destination refuses the instance; the
+	// coordinator retries the next eligible destination or rolls back).
+	MoveLandFailProb float64
+	// MoveStallMaxSeconds stretches each move's blackout by a uniform
+	// extra delay in [0, max) — migration-path jitter.
+	MoveStallMaxSeconds float64
+
+	// SampleCorruptProb is the per-(server, epoch) probability the
+	// contention detector's counter sample arrives corrupted: the signals
+	// are scaled by a garbage factor but still claimed valid.
+	SampleCorruptProb float64
+	// SampleStaleProb is the per-(server, epoch) probability the detector
+	// sample is stale: the sensor replays the previous epoch's sample
+	// instead of fresh counters.
+	SampleStaleProb float64
 }
 
 // WithDefaults fills defaulted fields.
@@ -74,7 +100,14 @@ func (c Chaos) WithDefaults() Chaos {
 // Enabled reports whether any fault class is active.
 func (c *Chaos) Enabled() bool {
 	return c != nil && (c.ServerCrashProb > 0 || c.CompileFailProb > 0 ||
-		c.RuntimeCrashMTTFSeconds > 0 || c.QoSDropoutProb > 0)
+		c.RuntimeCrashMTTFSeconds > 0 || c.QoSDropoutProb > 0 ||
+		c.MigrationEnabled())
+}
+
+// MigrationEnabled reports whether any migration-domain fault is active.
+func (c *Chaos) MigrationEnabled() bool {
+	return c != nil && (c.MoveDetachFailProb > 0 || c.MoveLandFailProb > 0 ||
+		c.MoveStallMaxSeconds > 0 || c.SampleCorruptProb > 0 || c.SampleStaleProb > 0)
 }
 
 // Fault domains keep schedules independent: the same (server, position)
@@ -85,6 +118,12 @@ const (
 	domCompile
 	domRuntimeCrash
 	domDropout
+	domMoveDetach
+	domMoveLand
+	domMoveStall
+	domSampleCorrupt
+	domSampleStale
+	domCorruptFactor
 )
 
 // mix64 is the splitmix64 finalizer — a full-avalanche 64-bit mixer.
@@ -161,6 +200,70 @@ func (c Chaos) RuntimeCrashFn(server int, freqHz float64, quantumCycles uint64) 
 	return func(nowCycles uint64) bool {
 		return uniform(seed, domRuntimeCrash, srv, nowCycles/quantumCycles) < p
 	}
+}
+
+// MoveDetachFails reports whether the given move fails before its source
+// server detaches the instance. Pure in (Seed, server, move sequence).
+func (c Chaos) MoveDetachFails(server int, move uint64) bool {
+	if c.MoveDetachFailProb <= 0 {
+		return false
+	}
+	return uniform(uint64(c.Seed), domMoveDetach, uint64(server), move) < c.MoveDetachFailProb
+}
+
+// MoveLandFails reports whether landing attempt `attempt` of the given move
+// fails at the destination server. Pure in (Seed, server, move sequence,
+// attempt), so retries against the same destination redraw independently.
+func (c Chaos) MoveLandFails(server int, move uint64, attempt int) bool {
+	if c.MoveLandFailProb <= 0 {
+		return false
+	}
+	return uniform(uint64(c.Seed), domMoveLand, uint64(server), move, uint64(attempt)) < c.MoveLandFailProb
+}
+
+// MoveStallSeconds is the extra blackout jitter charged to the given move,
+// uniform in [0, MoveStallMaxSeconds). Pure in (Seed, server, move
+// sequence).
+func (c Chaos) MoveStallSeconds(server int, move uint64) float64 {
+	if c.MoveStallMaxSeconds <= 0 {
+		return 0
+	}
+	return uniform(uint64(c.Seed), domMoveStall, uint64(server), move) * c.MoveStallMaxSeconds
+}
+
+// SampleFault classifies one detector counter sample.
+type SampleFault int
+
+// Detector-sample fault classes.
+const (
+	// SampleOK: the sample arrives as measured.
+	SampleOK SampleFault = iota
+	// SampleCorrupt: the sample's signals are scaled by CorruptFactor but
+	// still claimed valid.
+	SampleCorrupt
+	// SampleStale: the sensor replays the previous epoch's sample.
+	SampleStale
+)
+
+// SampleFaultAt classifies the detector sample server contributes at the
+// given decision epoch. Corruption shadows staleness so each (server,
+// epoch) has exactly one class. Pure in (Seed, server, epoch).
+func (c Chaos) SampleFaultAt(server int, epoch uint64) SampleFault {
+	if c.SampleCorruptProb > 0 &&
+		uniform(uint64(c.Seed), domSampleCorrupt, uint64(server), epoch) < c.SampleCorruptProb {
+		return SampleCorrupt
+	}
+	if c.SampleStaleProb > 0 &&
+		uniform(uint64(c.Seed), domSampleStale, uint64(server), epoch) < c.SampleStaleProb {
+		return SampleStale
+	}
+	return SampleOK
+}
+
+// CorruptFactor is the garbage scale applied to a corrupted sample's
+// signals, uniform in [0, 4). Pure in (Seed, server, epoch).
+func (c Chaos) CorruptFactor(server int, epoch uint64) float64 {
+	return 4 * uniform(uint64(c.Seed), domCorruptFactor, uint64(server), epoch)
 }
 
 // DropoutFn returns a QoS-sensor dropout schedule for one server, or nil

@@ -15,6 +15,9 @@ type arrival struct {
 	// from is then the source server index.
 	migrated bool
 	from     int
+	// rollback marks a failed move returning to its source after every
+	// landing attempt failed.
+	rollback bool
 }
 
 // serverPlan is one server's precomputed fault schedule. Computing the
@@ -78,6 +81,15 @@ func (f *Fleet) buildChaosPlan(assignment []string) chaosPlan {
 		if assignment[i] != "" {
 			victims = append(victims, victim{i, at})
 		}
+	}
+	if f.cfg.Migration != nil {
+		// Live migration invalidates the t=0 assignment this static
+		// reaction is computed from (an instance may have moved off a
+		// crashing server, or onto one with no replacement planned). The
+		// migration coordinator re-places crash victims dynamically at the
+		// decision-epoch barriers instead, against live occupancy; it
+		// accumulates replacements/unplaced into this plan as it goes.
+		return cp
 	}
 	sort.Slice(victims, func(a, b int) bool {
 		if victims[a].at != victims[b].at {

@@ -333,6 +333,20 @@ type Metrics struct {
 	Migrations          int
 	MigrationQuantaLost uint64
 	ContendedServers    int
+	// MovesFailed counts migrations that did not land (detach faults +
+	// rollbacks); MoveRollbacks and MoveRetries break the failure path
+	// down; BreakerTrips counts circuit-breaker openings; CorruptSamples
+	// and StaleSamples count injected detector-sensor faults.
+	MovesFailed    int
+	MoveRollbacks  int
+	MoveRetries    int
+	BreakerTrips   int
+	CorruptSamples int
+	StaleSamples   int
+	// AuditViolations counts invariant breaches the conservation auditor
+	// observed (0 = the run provably never lost or duplicated an
+	// instance).
+	AuditViolations int
 }
 
 // calibration holds the immutable solo measurements every server
@@ -371,6 +385,11 @@ type Fleet struct {
 	// published snapshot (served at /contend, exported after Run).
 	contendMu   sync.Mutex
 	contendStat *ContendStatus
+	// audit is the conservation auditor (non-nil once runMigrated starts);
+	// auditStat is its latest published snapshot, guarded by contendMu
+	// like contendStat (served at /audit, returned by AuditReport).
+	audit     *auditor
+	auditStat *AuditReport
 }
 
 // New validates the configuration and builds a fleet.
@@ -506,7 +525,7 @@ func (f *Fleet) Run() (Metrics, error) {
 		// and applies migrations, then the next epoch begins. Decisions
 		// are pure functions of (seed, epoch counters), so the segmented
 		// timeline is bit-identical at any worker count.
-		err = f.runMigrated(sims, horizon)
+		err = f.runMigrated(sims, horizon, &plan)
 	} else {
 		err = f.forEach(f.cfg.Servers, func(i int) error {
 			return sims[i].advanceTo(horizon)
@@ -523,6 +542,16 @@ func (f *Fleet) Run() (Metrics, error) {
 	})
 	if err != nil {
 		return Metrics{}, err
+	}
+	if f.audit != nil {
+		// Final sweep at the horizon: every pending arrival on a live
+		// server has landed by now, so the census reduces to hosted +
+		// stranded-on-dead and must still conserve the placed population.
+		f.audit.check(f.audit.lastEpoch+1, horizon,
+			f.tel.CounterValue("contend", "migration_quanta_lost_total"),
+			f.tel.CounterValue("contend", "migrations_total"),
+			f.tel.CounterValue("contend", "moves_failed_total"))
+		f.publishAudit(f.audit.rep.clone())
 	}
 	// Merge in server-index order: the rollup's sums, histogram buckets and
 	// trace are then independent of worker interleaving.
@@ -678,6 +707,16 @@ func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 	mt.Migrations = int(f.tel.CounterValue("contend", "migrations_total"))
 	mt.MigrationQuantaLost = uint64(f.tel.CounterValue("contend", "migration_quanta_lost_total"))
 	mt.ContendedServers = int(f.tel.GaugeValue("contend", "contended_servers"))
+	mt.MovesFailed = int(f.tel.CounterValue("contend", "moves_failed_total"))
+	mt.MoveRollbacks = int(f.tel.CounterValue("contend", "move_rollbacks_total"))
+	mt.MoveRetries = int(f.tel.CounterValue("contend", "move_retries_total"))
+	mt.BreakerTrips = int(f.tel.CounterValue("contend", "breaker_trips_total"))
+	mt.CorruptSamples = int(f.tel.CounterValue("contend", "corrupt_samples_total"))
+	mt.StaleSamples = int(f.tel.CounterValue("contend", "stale_samples_total"))
+	if f.audit != nil {
+		mt.AuditViolations = len(f.audit.rep.Violations)
+		f.tel.Counter("fleet", "audit_violations_total", "invariant breaches the conservation auditor observed").Add(uint64(mt.AuditViolations))
+	}
 	var utils, qs, degQ, degU []float64
 	availSum := 0.0
 	perAppN := make(map[string]int)

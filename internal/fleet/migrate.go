@@ -5,24 +5,33 @@
 // worker pool advances them; segment boundaries change nothing about what
 // each machine computes), and a single-threaded coordinator:
 //
-//  1. samples every server's counters since the previous epoch (CPI,
-//     MPKI, LLC miss bandwidth, offered load),
-//  2. feeds them to the internal/contend streaming detector, whose
+//  1. re-places instances off servers that crashed since the last epoch
+//     (the cluster scheduler's reaction, computed against live occupancy
+//     rather than the static t=0 assignment),
+//  2. samples every server's counters since the previous epoch (CPI,
+//     MPKI, LLC miss bandwidth, offered load), evicting dead servers from
+//     the detector and applying any seeded sensor faults (corrupted or
+//     stale samples),
+//  3. feeds them to the internal/contend streaming detector, whose
 //     quantile thresholds with hysteresis and cooldown flag contended
 //     servers without flapping,
-//  3. asks the planner for up to BudgetPerEpoch moves — evict the
-//     highest-pressure batch instance from a contended server, land it on
-//     the least-loaded eligible server — and
-//  4. applies each move: the source detaches its instance (policy closed,
-//     instance agents gated off, core freed), and the destination
-//     attaches it BlackoutSeconds later; the blackout is the modeled
-//     migration cost, charged as lost batch quanta.
+//  4. consults the migration circuit breaker — consecutive failed moves
+//     or a corrupt-sample epoch trip it open, suspending migration for a
+//     cooldown before a half-open probe move re-arms it — and
+//  5. asks the planner for up to the admitted budget of moves, executing
+//     each as a transaction: prepare → detach → blackout → land. A landing
+//     that fails (seeded fault, or the destination crashed during the
+//     blackout) deterministically retries the next eligible destination
+//     under capped backoff; when every attempt fails the move rolls back
+//     to its source with an extra blackout penalty. An instance is never
+//     lost and never runs twice.
 //
 // Every decision is a pure function of (seed, epoch counters), so runs
 // are bit-identical at any -workers, and every decision leaves a trail:
-// contend.* counters, EvContended/EvMigration events, contend.decide /
-// contend.migrate spans, and the ContendStatus snapshot served at
-// /contend.
+// contend.* counters, EvContended/EvMigration/EvMoveFailed/EvBreaker
+// events, contend.decide / contend.migrate(.retry/.rollback) spans, the
+// ContendStatus snapshot served at /contend, and the conservation
+// auditor's per-epoch report served at /audit.
 package fleet
 
 import (
@@ -31,6 +40,7 @@ import (
 	"strings"
 
 	"repro/internal/contend"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +58,21 @@ type MigrationConfig struct {
 	// runs nowhere for this long (default 0.25), and the lost quanta are
 	// charged to contend_migration_quanta_lost_total.
 	BlackoutSeconds float64
+	// MaxLandAttempts caps landing attempts per move, the planned
+	// destination included (default 3); after the last failure the move
+	// rolls back to its source.
+	MaxLandAttempts int
+	// RetryBackoffSeconds is the extra blackout charged before each retry
+	// landing, doubling per attempt up to RetryBackoffCapSeconds
+	// (defaults BlackoutSeconds/2 and 2·BlackoutSeconds).
+	RetryBackoffSeconds    float64
+	RetryBackoffCapSeconds float64
+	// RollbackPenaltySeconds is the extra blackout charged when a move
+	// rolls back to its source (default BlackoutSeconds).
+	RollbackPenaltySeconds float64
+	// Breaker tunes the migration circuit breaker (zero fields take
+	// contend.BreakerConfig defaults).
+	Breaker contend.BreakerConfig
 }
 
 func (mc MigrationConfig) withDefaults(c Config) MigrationConfig {
@@ -60,27 +85,66 @@ func (mc MigrationConfig) withDefaults(c Config) MigrationConfig {
 	if mc.BlackoutSeconds <= 0 {
 		mc.BlackoutSeconds = 0.25
 	}
+	if mc.MaxLandAttempts <= 0 {
+		mc.MaxLandAttempts = 3
+	}
+	if mc.RetryBackoffSeconds <= 0 {
+		mc.RetryBackoffSeconds = mc.BlackoutSeconds / 2
+	}
+	if mc.RetryBackoffCapSeconds <= 0 {
+		mc.RetryBackoffCapSeconds = 2 * mc.BlackoutSeconds
+	}
+	if mc.RollbackPenaltySeconds <= 0 {
+		mc.RollbackPenaltySeconds = mc.BlackoutSeconds
+	}
 	if mc.Detector.Seed == 0 {
 		mc.Detector.Seed = c.Seed
 	}
 	mc.Detector = mc.Detector.WithDefaults()
+	mc.Breaker = mc.Breaker.WithDefaults()
 	return mc
 }
 
-// MoveRecord is one executed migration, for the ContendStatus export.
+// Move outcomes recorded in MoveRecord.Outcome.
+const (
+	// MoveLanded: the instance landed at a destination (possibly after
+	// retries).
+	MoveLanded = "landed"
+	// MoveRolledBack: every landing attempt failed; the instance returned
+	// to its source with an extra blackout penalty.
+	MoveRolledBack = "rollback"
+	// MoveDetachFailed: the move aborted before the source detached; the
+	// instance never stopped running.
+	MoveDetachFailed = "detach-fail"
+)
+
+// MoveRecord is one attempted migration, for the ContendStatus export.
 type MoveRecord struct {
-	// Epoch and AtSeconds locate the decision; the instance lands at
-	// AtSeconds + BlackoutSeconds.
+	// Epoch and AtSeconds locate the decision.
 	Epoch     int
 	AtSeconds float64
 	App       string
+	// From is the source; PlannedTo is the planner's chosen destination;
+	// To is where the instance actually ended up (a retry destination on
+	// landing faults, the source again on rollback or detach failure).
 	From, To  int
+	PlannedTo int
+	// LandAtSeconds is when the instance resumed (0 for a detach failure,
+	// where it never stopped).
+	LandAtSeconds float64
+	// Outcome is MoveLanded, MoveRolledBack or MoveDetachFailed.
+	Outcome string
+	// Attempts counts landing attempts (0 for a detach failure).
+	Attempts int
+	// QuantaLost is the batch quanta charged to this move's blackout,
+	// stall jitter, retries and rollback penalty included.
+	QuantaLost uint64
 }
 
 // ContendStatus is the migration control loop's published state: detector
-// thresholds and per-server verdicts at the latest decision epoch, plus
-// the cumulative move log. Served live at /contend and exportable after
-// the run for the determinism gate.
+// thresholds and per-server verdicts at the latest decision epoch, the
+// failure/breaker tallies, plus the cumulative move log. Served live at
+// /contend and exportable after the run for the determinism gate.
 type ContendStatus struct {
 	Epoch           int
 	AtSeconds       float64
@@ -92,8 +156,16 @@ type ContendStatus struct {
 	Contended       int
 	Migrations      uint64
 	QuantaLost      uint64
-	Servers         []contend.State
-	Moves           []MoveRecord
+	// Failure and breaker tallies (all zero on a healthy move path).
+	MovesFailed    uint64
+	Rollbacks      uint64
+	Retries        uint64
+	CorruptSamples uint64
+	StaleSamples   uint64
+	BreakerState   string
+	BreakerTrips   uint64
+	Servers        []contend.State
+	Moves          []MoveRecord
 }
 
 func (st *ContendStatus) clone() *ContendStatus {
@@ -115,6 +187,10 @@ func (st *ContendStatus) WriteJSON(w io.Writer) error {
 	fmt.Fprintf(&b, "  \"enter_threshold\": %s,\n  \"exit_threshold\": %s,\n", ff(st.EnterThreshold), ff(st.ExitThreshold))
 	fmt.Fprintf(&b, "  \"contended\": %d,\n  \"migrations\": %d,\n  \"quanta_lost\": %d,\n",
 		st.Contended, st.Migrations, st.QuantaLost)
+	fmt.Fprintf(&b, "  \"moves_failed\": %d,\n  \"rollbacks\": %d,\n  \"retries\": %d,\n",
+		st.MovesFailed, st.Rollbacks, st.Retries)
+	fmt.Fprintf(&b, "  \"corrupt_samples\": %d,\n  \"stale_samples\": %d,\n", st.CorruptSamples, st.StaleSamples)
+	fmt.Fprintf(&b, "  \"breaker_state\": %q,\n  \"breaker_trips\": %d,\n", st.BreakerState, st.BreakerTrips)
 	b.WriteString("  \"servers\": [")
 	for i, sv := range st.Servers {
 		if i > 0 {
@@ -132,8 +208,8 @@ func (st *ContendStatus) WriteJSON(w io.Writer) error {
 		if i > 0 {
 			b.WriteString(",")
 		}
-		fmt.Fprintf(&b, "\n    {\"epoch\": %d, \"at_seconds\": %s, \"app\": %q, \"from\": %d, \"to\": %d}",
-			mv.Epoch, ff(mv.AtSeconds), mv.App, mv.From, mv.To)
+		fmt.Fprintf(&b, "\n    {\"epoch\": %d, \"at_seconds\": %s, \"app\": %q, \"from\": %d, \"to\": %d, \"planned_to\": %d, \"land_at\": %s, \"outcome\": %q, \"attempts\": %d, \"quanta\": %d}",
+			mv.Epoch, ff(mv.AtSeconds), mv.App, mv.From, mv.To, mv.PlannedTo, ff(mv.LandAtSeconds), mv.Outcome, mv.Attempts, mv.QuantaLost)
 	}
 	b.WriteString("\n  ]\n}\n")
 	_, err := io.WriteString(w, b.String())
@@ -160,66 +236,157 @@ func (f *Fleet) ContendStatus() *ContendStatus {
 	return f.contendStat.clone()
 }
 
+// migrator is the per-run state of the decision-epoch coordinator. All of
+// it is touched only in the single-threaded coordinator sections between
+// epochs, so every decision is a pure function of (seed, epoch counters).
+type migrator struct {
+	f       *Fleet
+	mc      MigrationConfig
+	ch      *faults.Chaos
+	sims    []*serverSim
+	det     *contend.Detector
+	brk     *contend.Breaker
+	aud     *auditor
+	plan    *chaosPlan
+	status  *ContendStatus
+	horizon float64
+	freq    float64
+	quantum uint64
+
+	cMig, cLost, cFail, cRoll, cRetry, cTrip, cCorrupt, cStale *telemetry.Counter
+	gCont, gBreaker                                            *telemetry.Gauge
+
+	moveSeq uint64
+	// lastDelivered is what each server's sensor delivered last epoch —
+	// the reading a stale sensor replays.
+	lastDelivered []contend.Sample
+	// handledDead marks crashed servers whose instance fate is settled.
+	handledDead []bool
+	// spares are this epoch's unused eligible destinations, in planner
+	// preference order — the deterministic retry sequence.
+	spares []contend.Target
+}
+
+// cyc converts simulated seconds to cycles.
+func (g *migrator) cyc(sec float64) uint64 { return uint64(sec * g.freq) }
+
+// quanta converts a blackout duration to lost batch quanta.
+func (g *migrator) quanta(sec float64) uint64 { return uint64(sec*g.freq) / g.quantum }
+
+// alive reports whether server i is up at barrier time t.
+func (g *migrator) alive(i int, t float64) bool {
+	s := g.sims[i]
+	return !s.res.Crashed || t < s.stop
+}
+
+// emitBreaker records a breaker transition on the fleet-scope trace.
+func (g *migrator) emitBreaker(t float64, cause string) {
+	g.f.tel.Emit(telemetry.Event{
+		At: g.cyc(t), Kind: telemetry.EvBreaker, Server: -1,
+		Value: float64(g.brk.State()), Detail: cause,
+	})
+}
+
 // runMigrated drives the decision-epoch loop described in the package
-// comment above. sims are already constructed and at t=0.
-func (f *Fleet) runMigrated(sims []*serverSim, horizon float64) error {
+// comment above. sims are already constructed and at t=0; plan receives
+// the coordinator's dynamic re-placement counts.
+func (f *Fleet) runMigrated(sims []*serverSim, horizon float64, plan *chaosPlan) error {
 	mc := *f.cfg.Migration
 	n := len(sims)
-	det := contend.New(n, mc.Detector)
-	cMig := f.tel.Counter("contend", "migrations_total", "live batch migrations executed")
-	cLost := f.tel.Counter("contend", "migration_quanta_lost_total", "batch quanta lost to migration blackouts")
-	gCont := f.tel.Gauge("contend", "contended_servers", "servers flagged contended at the latest decision epoch")
 	mcfg := sims[0].m.Config()
-	cyc := func(sec float64) uint64 { return uint64(sec * mcfg.FreqHz) }
-	blackoutQuanta := uint64(mc.BlackoutSeconds*mcfg.FreqHz) / mcfg.QuantumCycles
-	status := &ContendStatus{
-		WindowSeconds:   mc.WindowSeconds,
-		BlackoutSeconds: mc.BlackoutSeconds,
-		Budget:          mc.BudgetPerEpoch,
+	g := &migrator{
+		f: f, mc: mc, ch: f.cfg.Chaos, sims: sims,
+		det: contend.New(n, mc.Detector), brk: contend.NewBreaker(mc.Breaker),
+		plan: plan, horizon: horizon,
+		freq: mcfg.FreqHz, quantum: mcfg.QuantumCycles,
+		cMig:     f.tel.Counter("contend", "migrations_total", "live batch migrations landed"),
+		cLost:    f.tel.Counter("contend", "migration_quanta_lost_total", "batch quanta lost to migration blackouts"),
+		cFail:    f.tel.Counter("contend", "moves_failed_total", "live migrations that failed (detach faults + rollbacks)"),
+		cRoll:    f.tel.Counter("contend", "move_rollbacks_total", "failed moves rolled back to their source"),
+		cRetry:   f.tel.Counter("contend", "move_retries_total", "extra landing attempts after a failed landing"),
+		cTrip:    f.tel.Counter("contend", "breaker_trips_total", "migration circuit-breaker trips"),
+		cCorrupt: f.tel.Counter("contend", "corrupt_samples_total", "detector samples corrupted by chaos"),
+		cStale:   f.tel.Counter("contend", "stale_samples_total", "detector samples replayed stale by chaos"),
+		gCont:    f.tel.Gauge("contend", "contended_servers", "servers flagged contended at the latest decision epoch"),
+		gBreaker: f.tel.Gauge("contend", "breaker_state", "migration breaker position (0 closed, 1 half-open, 2 open)"),
+		status: &ContendStatus{
+			WindowSeconds:   mc.WindowSeconds,
+			BlackoutSeconds: mc.BlackoutSeconds,
+			Budget:          mc.BudgetPerEpoch,
+			BreakerState:    contend.BreakerClosed.String(),
+		},
+		lastDelivered: make([]contend.Sample, n),
+		handledDead:   make([]bool, n),
 	}
+	g.aud = newAuditor(f, sims)
+	f.audit = g.aud
+	return g.run()
+}
+
+func (g *migrator) run() error {
+	n := len(g.sims)
 	for e := 1; ; e++ {
-		t := float64(e) * mc.WindowSeconds
-		if t >= horizon-1e-9 {
+		t := float64(e) * g.mc.WindowSeconds
+		if t >= g.horizon-1e-9 {
 			// The final partial segment runs in finish(); no decision at
 			// the horizon itself.
 			break
 		}
-		if err := f.forEach(n, func(i int) error { return sims[i].advanceTo(t) }); err != nil {
+		if err := g.f.forEach(n, func(i int) error { return g.sims[i].advanceTo(t) }); err != nil {
 			return err
 		}
 		// Coordinator section: single-threaded, index order, deterministic.
-		samples := make([]contend.Sample, n)
-		for i, s := range sims {
-			samples[i] = s.contendSample()
-		}
-		verdicts := det.Observe(samples)
-		states := det.States()
+		g.replaceDead(t)
+		samples, corruptEpoch := g.sample(e, t)
+		verdicts := g.det.Observe(samples)
+		states := g.det.States()
 		for i, st := range states {
-			if st.FlippedAt == det.Epoch() {
+			if st.FlippedAt == g.det.Epoch() {
 				v := 0.0
 				if st.Contended {
 					v = 1
 				}
-				sims[i].reg.Emit(telemetry.Event{
-					At: sims[i].m.Now(), Kind: telemetry.EvContended,
+				g.sims[i].reg.Emit(telemetry.Event{
+					At: g.sims[i].m.Now(), Kind: telemetry.EvContended,
 					Value: v, Detail: telemetry.FormatFloat(st.Score),
 				})
 			}
 		}
-		gCont.Set(float64(det.Contended()))
-		spDecide := f.tel.StartSpan("contend.decide", cyc(t), 0)
-		f.tel.SpanAttrs(spDecide,
-			telemetry.Num("epoch", float64(det.Epoch())),
-			telemetry.Num("contended", float64(det.Contended())))
+		g.gCont.Set(float64(g.det.Contended()))
+
+		// Breaker epoch advance: cooldown countdown, then the corrupt-epoch
+		// trip — decisions made from corrupted counters can't be trusted.
+		prevState := g.brk.State()
+		g.brk.BeginEpoch()
+		if g.brk.State() != prevState {
+			g.emitBreaker(t, "cooldown")
+		}
+		if corruptEpoch {
+			preTrips := g.brk.Trips()
+			g.brk.TripCorrupt()
+			if g.brk.Trips() != preTrips {
+				g.cTrip.Inc()
+				g.emitBreaker(t, "corrupt")
+			}
+		}
+		g.gBreaker.Set(float64(g.brk.State()))
+
+		spDecide := g.f.tel.StartSpan("contend.decide", g.cyc(t), 0)
+		g.f.tel.SpanAttrs(spDecide,
+			telemetry.Num("epoch", float64(g.det.Epoch())),
+			telemetry.Num("contended", float64(g.det.Contended())),
+			telemetry.Num("budget", float64(g.brk.Budget(g.mc.BudgetPerEpoch))))
 		var moves []contend.Move
-		if t+mc.BlackoutSeconds < horizon {
+		g.spares = nil
+		budget := g.brk.Budget(g.mc.BudgetPerEpoch)
+		if budget > 0 && t+g.mc.BlackoutSeconds < g.horizon {
 			var cands []contend.Candidate
 			targets := make([]contend.Target, 0, n)
-			for i, s := range sims {
+			for i, s := range g.sims {
 				alive := t < s.stop
 				if verdicts[i] && alive && s.host != nil {
 					cands = append(cands, contend.Candidate{
-						Server: i, App: s.hostApp, Score: f.cal.pressure[s.hostApp],
+						Server: i, App: s.hostApp, Score: g.f.cal.pressure[s.hostApp],
 					})
 				}
 				targets = append(targets, contend.Target{
@@ -228,42 +395,302 @@ func (f *Fleet) runMigrated(sims []*serverSim, horizon float64) error {
 						s.host == nil && len(s.pending) == 0,
 				})
 			}
-			moves = contend.PlanMoves(mc.Detector.Seed, cands, targets, mc.BudgetPerEpoch)
+			moves = contend.PlanMoves(g.mc.Detector.Seed, cands, targets, budget)
+			// The ordered eligible targets not consumed by the plan are the
+			// retry fallbacks, in the same preference order.
+			ordered := contend.OrderTargets(g.mc.Detector.Seed, targets)
+			if len(moves) < len(ordered) {
+				g.spares = ordered[len(moves):]
+			}
 		}
 		for _, mv := range moves {
-			src, dst := sims[mv.From], sims[mv.To]
-			app := src.detachBatch()
-			if app == "" {
-				continue
+			outcome := g.executeMove(mv, e, t, spDecide)
+			preState, preTrips := g.brk.State(), g.brk.Trips()
+			switch {
+			case outcome > 0:
+				g.brk.RecordSuccess()
+				if g.brk.State() != preState {
+					g.emitBreaker(t, "probe-ok")
+				}
+			case outcome < 0:
+				g.brk.RecordFailure()
+				if g.brk.Trips() != preTrips {
+					g.cTrip.Inc()
+					cause := "failures"
+					if preState == contend.BreakerHalfOpen {
+						cause = "probe-fail"
+					}
+					g.emitBreaker(t, cause)
+				}
 			}
-			land := t + mc.BlackoutSeconds
-			src.reg.Counter("contend", "migrations_out_total", "batch instances evicted from this server by the migration planner").Inc()
-			src.reg.Emit(telemetry.Event{
-				At: src.m.Now(), Kind: telemetry.EvMigration,
-				Func: app, Value: float64(mv.To), Detail: "out",
-			})
-			dst.scheduleArrival(arrival{App: app, AtSeconds: land, migrated: true, from: mv.From})
-			cMig.Inc()
-			cLost.Add(blackoutQuanta)
-			sp := f.tel.StartSpan("contend.migrate", cyc(t), spDecide)
-			f.tel.SpanAttrs(sp,
-				telemetry.Str("app", app),
-				telemetry.Num("from", float64(mv.From)),
-				telemetry.Num("to", float64(mv.To)))
-			f.tel.EndSpan(sp, cyc(land))
-			status.Moves = append(status.Moves, MoveRecord{
-				Epoch: det.Epoch(), AtSeconds: t, App: app, From: mv.From, To: mv.To,
-			})
 		}
-		f.tel.EndSpan(spDecide, cyc(t))
-		status.Epoch = det.Epoch()
-		status.AtSeconds = t
-		status.EnterThreshold, status.ExitThreshold = det.Thresholds()
-		status.Contended = det.Contended()
-		status.Migrations = cMig.Value()
-		status.QuantaLost = cLost.Value()
-		status.Servers = states
-		f.publishContend(status)
+		g.gBreaker.Set(float64(g.brk.State()))
+		g.f.tel.EndSpan(spDecide, g.cyc(t))
+
+		st := g.status
+		st.Epoch = g.det.Epoch()
+		st.AtSeconds = t
+		st.EnterThreshold, st.ExitThreshold = g.det.Thresholds()
+		st.Contended = g.det.Contended()
+		st.Migrations = g.cMig.Value()
+		st.QuantaLost = g.cLost.Value()
+		st.MovesFailed = g.cFail.Value()
+		st.Rollbacks = g.cRoll.Value()
+		st.Retries = g.cRetry.Value()
+		st.CorruptSamples = g.cCorrupt.Value()
+		st.StaleSamples = g.cStale.Value()
+		st.BreakerState = g.brk.State().String()
+		st.BreakerTrips = uint64(g.brk.Trips())
+		st.Servers = states
+		g.f.publishContend(st)
+		g.aud.check(g.det.Epoch(), t, g.cLost.Value(), g.cMig.Value(), g.cFail.Value())
+		g.f.publishAudit(g.aud.rep.clone())
 	}
 	return nil
+}
+
+// replaceDead is the cluster scheduler's dynamic reaction: servers that
+// crashed since the last epoch while hosting a batch instance get it
+// re-placed, RestartDelaySeconds after the crash, onto the lowest-index
+// surviving batch-free server — computed against live occupancy, because
+// migration may have moved instances on or off the victim since t=0. An
+// instance that cannot be re-placed (horizon too close, or no free
+// survivor) stays attached to the corpse and is accounted as dead with it.
+func (g *migrator) replaceDead(t float64) {
+	if g.ch == nil || g.ch.ServerCrashProb <= 0 {
+		return
+	}
+	// Victims in (crash time, index) order — the order a real scheduler
+	// observes the failures. Barrier order equals crash order here because
+	// each epoch sweeps the fleet in index order below.
+	type victim struct {
+		idx int
+		at  float64
+	}
+	var victims []victim
+	for i, s := range g.sims {
+		if s.res.Crashed && t >= s.stop && !g.handledDead[i] {
+			g.handledDead[i] = true
+			if s.host != nil {
+				victims = append(victims, victim{i, s.stop})
+			}
+		}
+	}
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && (victims[j-1].at > victims[j].at ||
+			(victims[j-1].at == victims[j].at && victims[j-1].idx > victims[j].idx)); j-- {
+			victims[j-1], victims[j] = victims[j], victims[j-1]
+		}
+	}
+	for _, v := range victims {
+		land := v.at + g.ch.RestartDelaySeconds
+		if land >= g.horizon {
+			g.plan.unplaced++
+			continue
+		}
+		target := -1
+		for j, s := range g.sims {
+			if j != v.idx && land < s.stop && s.host == nil && len(s.pending) == 0 {
+				target = j
+				break
+			}
+		}
+		if target < 0 {
+			g.plan.unplaced++
+			continue
+		}
+		app := g.sims[v.idx].detachInstance()
+		if app == "" {
+			continue
+		}
+		g.sims[target].scheduleArrival(arrival{App: app, AtSeconds: land, from: v.idx})
+		g.plan.replacements++
+	}
+}
+
+// sample reads every server's contention signals for this epoch: dead
+// servers are evicted from the detector (their stale windows must not pin
+// the fleet quantile), and live servers' readings pass through the seeded
+// sensor-fault schedule — corrupted samples arrive scaled by a garbage
+// factor, stale samples replay what the sensor last delivered.
+func (g *migrator) sample(e int, t float64) (samples []contend.Sample, corruptEpoch bool) {
+	samples = make([]contend.Sample, len(g.sims))
+	for i, s := range g.sims {
+		raw := s.contendSample()
+		if !g.alive(i, t) || t >= s.stop {
+			g.det.Evict(i)
+			samples[i] = contend.Sample{}
+			g.lastDelivered[i] = contend.Sample{}
+			continue
+		}
+		if g.ch != nil {
+			switch g.ch.SampleFaultAt(i, uint64(e)) {
+			case faults.SampleCorrupt:
+				fct := g.ch.CorruptFactor(i, uint64(e))
+				raw.CPI *= fct
+				raw.MPKI *= fct
+				raw.MissRate *= fct
+				g.cCorrupt.Inc()
+				corruptEpoch = true
+			case faults.SampleStale:
+				if g.lastDelivered[i].Valid {
+					raw = g.lastDelivered[i]
+					g.cStale.Inc()
+				}
+			}
+		}
+		samples[i] = raw
+		g.lastDelivered[i] = raw
+	}
+	return samples, corruptEpoch
+}
+
+// takeSpare pops the next fallback destination still alive at the landing
+// time and still free, in planner preference order. Freshness is
+// re-checked at take time: an earlier move's rollback may have landed on a
+// server that was spare at decision time.
+func (g *migrator) takeSpare(land float64) (int, bool) {
+	for len(g.spares) > 0 {
+		tgt := g.spares[0]
+		g.spares = g.spares[1:]
+		s := g.sims[tgt.Server]
+		if land < s.stop && s.host == nil && len(s.pending) == 0 {
+			return tgt.Server, true
+		}
+	}
+	return -1, false
+}
+
+// executeMove runs one planned move as a transaction. Because every fault
+// decision and crash time is a pure function of the seed, the whole
+// prepare → detach → blackout → land(+retries) → rollback chain resolves
+// eagerly at decision time: exactly one arrival is scheduled per detached
+// instance, so the instance is never lost and never runs twice. Returns
+// +1 when the instance landed at a destination, -1 when the move failed
+// (the breaker's signals), 0 for a no-op.
+func (g *migrator) executeMove(mv contend.Move, epoch int, t float64, spDecide telemetry.SpanID) int {
+	mc, ch := g.mc, g.ch
+	src := g.sims[mv.From]
+	seq := g.moveSeq
+	g.moveSeq++
+	sp := g.f.tel.StartSpan("contend.migrate", g.cyc(t), spDecide)
+	g.f.tel.SpanAttrs(sp,
+		telemetry.Str("app", mv.App),
+		telemetry.Num("from", float64(mv.From)),
+		telemetry.Num("to", float64(mv.To)))
+	rec := MoveRecord{
+		Epoch: epoch, AtSeconds: t, App: mv.App,
+		From: mv.From, To: mv.To, PlannedTo: mv.To,
+	}
+	if ch != nil && ch.MoveDetachFails(mv.From, seq) {
+		// Prepare failed: the instance never leaves the source.
+		g.cFail.Inc()
+		src.reg.Emit(telemetry.Event{
+			At: src.m.Now(), Kind: telemetry.EvMoveFailed,
+			Func: mv.App, Value: float64(mv.To), Detail: "detach",
+		})
+		rec.Outcome, rec.To = MoveDetachFailed, mv.From
+		g.f.tel.EndSpan(sp, g.cyc(t))
+		g.finishMove(rec)
+		return -1
+	}
+	app := src.detachBatch()
+	if app == "" {
+		// Planner raced an empty source; nothing to do.
+		g.f.tel.EndSpan(sp, g.cyc(t))
+		return 0
+	}
+	src.reg.Counter("contend", "migrations_out_total", "batch instances evicted from this server by the migration planner").Inc()
+	src.reg.Emit(telemetry.Event{
+		At: src.m.Now(), Kind: telemetry.EvMigration,
+		Func: app, Value: float64(mv.To), Detail: "out",
+	})
+	// dur accumulates the blackout as a sum of configured durations, and
+	// quanta charges come from dur rather than landing-time differences —
+	// float subtraction could round a clean blackout to one quantum short.
+	dur := mc.BlackoutSeconds
+	if ch != nil {
+		dur += ch.MoveStallSeconds(mv.From, seq)
+	}
+	backoff := mc.RetryBackoffSeconds
+	dst := mv.To
+	for attempt := 1; ; attempt++ {
+		rec.Attempts = attempt
+		land := t + dur
+		landFault := ch != nil && ch.MoveLandFails(dst, seq, attempt)
+		if !landFault && land < g.sims[dst].stop {
+			// Landed: the destination is alive at landing and accepted it.
+			g.sims[dst].scheduleArrival(arrival{App: app, AtSeconds: land, migrated: true, from: mv.From})
+			lost := g.quanta(dur)
+			g.cMig.Inc()
+			g.cLost.Add(lost)
+			rec.Outcome, rec.To, rec.LandAtSeconds, rec.QuantaLost = MoveLanded, dst, land, lost
+			g.f.tel.EndSpan(sp, g.cyc(land))
+			g.finishMove(rec)
+			return 1
+		}
+		// This attempt failed (landing fault, or the destination is dead
+		// by landing time). Retry the next eligible destination under
+		// capped backoff, or roll back once attempts run out.
+		next, ok := -1, false
+		if attempt < mc.MaxLandAttempts {
+			next, ok = g.takeSpare(land + backoff)
+		}
+		if !ok {
+			g.rollback(&rec, src, app, dur, sp)
+			return -1
+		}
+		spR := g.f.tel.StartSpan("contend.migrate.retry", g.cyc(land), sp)
+		g.f.tel.SpanAttrs(spR,
+			telemetry.Num("attempt", float64(attempt)),
+			telemetry.Num("to", float64(next)))
+		dur += backoff
+		g.f.tel.EndSpan(spR, g.cyc(t+dur))
+		g.cRetry.Inc()
+		if backoff *= 2; backoff > mc.RetryBackoffCapSeconds {
+			backoff = mc.RetryBackoffCapSeconds
+		}
+		dst = next
+	}
+}
+
+// rollback returns a detached instance to its source with an extra
+// blackout penalty. If the source itself will be dead by then, the
+// scheduler lands it on the lowest-index free survivor instead; with
+// nowhere at all to go it still returns to the (dead) source, where the
+// auditor accounts it as lost to the crash, not to the migration.
+func (g *migrator) rollback(rec *MoveRecord, src *serverSim, app string, dur float64, sp telemetry.SpanID) {
+	mc := g.mc
+	rbDur := dur + mc.RollbackPenaltySeconds
+	rbLand := rec.AtSeconds + rbDur
+	target := src.idx
+	if rbLand >= g.sims[target].stop {
+		for j, s := range g.sims {
+			if j != src.idx && rbLand < s.stop && s.host == nil && len(s.pending) == 0 {
+				target = j
+				break
+			}
+		}
+	}
+	g.sims[target].scheduleArrival(arrival{App: app, AtSeconds: rbLand, migrated: true, from: src.idx, rollback: true})
+	lost := g.quanta(rbDur)
+	g.cFail.Inc()
+	g.cRoll.Inc()
+	g.cLost.Add(lost)
+	src.reg.Emit(telemetry.Event{
+		At: src.m.Now(), Kind: telemetry.EvMoveFailed,
+		Func: app, Value: float64(rec.PlannedTo), Detail: "rollback",
+	})
+	spRB := g.f.tel.StartSpan("contend.migrate.rollback", g.cyc(rec.AtSeconds+dur), sp)
+	g.f.tel.SpanAttrs(spRB, telemetry.Num("to", float64(target)))
+	g.f.tel.EndSpan(spRB, g.cyc(rbLand))
+	rec.Outcome, rec.To, rec.LandAtSeconds, rec.QuantaLost = MoveRolledBack, target, rbLand, lost
+	g.f.tel.EndSpan(sp, g.cyc(rbLand))
+	g.finishMove(*rec)
+}
+
+// finishMove logs the move record and feeds the auditor's expectations.
+func (g *migrator) finishMove(rec MoveRecord) {
+	g.status.Moves = append(g.status.Moves, rec)
+	g.aud.recordMove(rec)
 }

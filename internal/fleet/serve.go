@@ -90,6 +90,9 @@ func (f *Fleet) Snapshot() (*telemetry.Registry, map[string]*sampling.DeepProfil
 //	/contend  — JSON contention-detector state (per-server verdicts,
 //	            window quantile thresholds, migration log); {"epoch": 0}
 //	            until the migration loop publishes
+//	/audit    — JSON conservation-auditor report (per-epoch instance
+//	            census + invariant violations); {"epochs_checked": 0}
+//	            until the migration loop publishes
 //	/healthz  — JSON liveness: servers, how many have published
 //
 // plus the standard net/http/pprof handlers under /debug/pprof/ for the
@@ -127,6 +130,16 @@ func (f *Fleet) Handler() http.Handler {
 			return
 		}
 		st.WriteJSON(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := f.AuditReport()
+		if rep == nil {
+			// Migration off, or no decision epoch yet.
+			io.WriteString(w, "{\"epochs_checked\": 0}\n") //nolint:errcheck // client went away
+			return
+		}
+		rep.WriteJSON(w) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		f.live.mu.Lock()

@@ -249,11 +249,13 @@ func (s *serverSim) attachBatch(a string) error {
 	return nil
 }
 
-// detachBatch evicts the live batch instance for migration: it banks the
+// detachInstance releases the live batch instance: it banks the
 // utilization and instruction counts measured so far, closes the policy
 // session, gates every instance-scoped agent off, and frees core 1. The
-// webservice never stops. Returns the evicted app ("" if none).
-func (s *serverSim) detachBatch() string {
+// webservice never stops. Returns the released app ("" if none). Shared by
+// live migration (detachBatch) and the coordinator's dynamic re-placement
+// of instances off crashed servers, which must not count as a migration.
+func (s *serverSim) detachInstance() string {
 	if s.host == nil {
 		return ""
 	}
@@ -275,7 +277,15 @@ func (s *serverSim) detachBatch() string {
 	s.m.Detach(1)
 	s.host, s.hostApp = nil, ""
 	s.h0 = machine.Counters{}
-	s.res.MigratedOut++
+	return app
+}
+
+// detachBatch evicts the live batch instance for migration.
+func (s *serverSim) detachBatch() string {
+	app := s.detachInstance()
+	if app != "" {
+		s.res.MigratedOut++
+	}
 	return app
 }
 

@@ -49,6 +49,7 @@ func Artifacts() []Artifact {
 		{Key: "fig17sim", Name: "Figures 17/18 (simulated fleet)", Run: (*Runner).Figure17Sim},
 		{Key: "figchaos", Name: "Chaos sweep (fault injection)", Run: one((*Runner).FigureChaos)},
 		{Key: "figmigrate", Name: "Migration sweep (contention-driven live migration)", Run: one((*Runner).FigureMigrate)},
+		{Key: "figchaosmigrate", Name: "Chaos-migration soak (transactional moves, breaker, audit)", Run: one((*Runner).FigureChaosMigrate)},
 		{Key: "figtimeline", Name: "Timeline (event trace)", Run: one((*Runner).FigureTimeline)},
 		{Key: "figspans", Name: "Span trees (causal trace)", Run: one((*Runner).FigureSpans)},
 	}

@@ -1,0 +1,52 @@
+package harness
+
+import "testing"
+
+// TestChaosMigrateSoak is the acceptance check behind figchaosmigrate: under
+// a fault soak aimed at the migration machinery itself (crashes, detach/land
+// refusals, blackout stalls, corrupted/stale detector samples), the
+// transactional move path must demonstrably exercise its failure branches —
+// at least one rollback and at least one breaker trip — while the
+// conservation auditor certifies that no epoch ever lost or duplicated an
+// instance.
+func TestChaosMigrateSoak(t *testing.T) {
+	cmp, err := shared.RunChaosMigrateComparison()
+	if err != nil {
+		t.Fatalf("RunChaosMigrateComparison: %v", err)
+	}
+	t.Logf("on-run ledger: %d landed, %d failed, %d rollbacks, %d retries, %d trips, %d corrupt, %d stale, %d audit violations",
+		cmp.On.Migrations, cmp.On.MovesFailed, cmp.On.MoveRollbacks, cmp.On.MoveRetries,
+		cmp.On.BreakerTrips, cmp.On.CorruptSamples, cmp.On.StaleSamples, cmp.On.AuditViolations)
+	if cmp.Off.Migrations != 0 || cmp.Off.MovesFailed != 0 || cmp.Off.BreakerTrips != 0 {
+		t.Fatalf("off run reports migration activity: %d moves, %d failed, %d trips",
+			cmp.Off.Migrations, cmp.Off.MovesFailed, cmp.Off.BreakerTrips)
+	}
+	if cmp.On.Crashes == 0 || cmp.Off.Crashes != cmp.On.Crashes {
+		t.Errorf("crash schedule not shared: off %d, on %d (want equal, nonzero)",
+			cmp.Off.Crashes, cmp.On.Crashes)
+	}
+	// The soak must actually exercise the failure machinery it claims to
+	// certify: the brutal landing-failure rate forces at least one rollback,
+	// and the short failure threshold trips the breaker at least once.
+	if cmp.On.MoveRollbacks == 0 {
+		t.Error("chaos soak never exercised the rollback path")
+	}
+	if cmp.On.BreakerTrips == 0 {
+		t.Error("chaos soak never tripped the circuit breaker")
+	}
+	if cmp.On.MovesFailed == 0 {
+		t.Error("chaos soak reports no failed moves")
+	}
+	// The headline: the auditor watched every epoch barrier and the books
+	// balanced anyway.
+	if cmp.Audit == nil {
+		t.Fatal("on run published no audit report")
+	}
+	if !cmp.Audit.Clean() || cmp.On.AuditViolations != 0 {
+		t.Fatalf("conservation audit failed: %d violations over %d epochs: %+v",
+			len(cmp.Audit.Violations), len(cmp.Audit.Epochs), cmp.Audit.Violations)
+	}
+	if len(cmp.Audit.Epochs) < 3 {
+		t.Errorf("audit covered only %d epochs, want >= 3", len(cmp.Audit.Epochs))
+	}
+}

@@ -380,14 +380,17 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 25 {
-		t.Errorf("artifacts = %d, want 25", len(arts))
+	if len(arts) != 26 {
+		t.Errorf("artifacts = %d, want 26", len(arts))
 	}
 	if _, err := ArtifactByKey("figchaos"); err != nil {
 		t.Errorf("figchaos missing: %v", err)
 	}
 	if _, err := ArtifactByKey("figmigrate"); err != nil {
 		t.Errorf("figmigrate missing: %v", err)
+	}
+	if _, err := ArtifactByKey("figchaosmigrate"); err != nil {
+		t.Errorf("figchaosmigrate missing: %v", err)
 	}
 	if _, err := ArtifactByKey("figtimeline"); err != nil {
 		t.Errorf("figtimeline missing: %v", err)

@@ -56,6 +56,15 @@ const (
 	// name, Value = the peer server index, Detail = "out" (instance
 	// evicted from here) or "in" (instance landed here after blackout).
 	EvMigration EventKind = "migration"
+	// EvMoveFailed: a live migration failed. Func = app name, Value = the
+	// peer server index, Detail = stage ("detach" for a move that aborted
+	// before leaving the source, "rollback" for one whose landing attempts
+	// all failed and returned to the source).
+	EvMoveFailed EventKind = "move_failed"
+	// EvBreaker: the migration circuit breaker changed state. Value = the
+	// new state (0 closed, 1 half-open, 2 open), Detail = the cause
+	// ("failures", "corrupt", "probe-ok", "probe-fail", "cooldown").
+	EvBreaker EventKind = "breaker"
 )
 
 // Event is one structured trace entry. At is simulated cycles on the

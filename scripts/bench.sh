@@ -5,12 +5,18 @@
 # quiet machine and commit the result so perf regressions in the hot loops
 # show up as a diff.
 #
+# Every run also appends one timestamped record (same fields plus "at" and
+# "commit") to BENCH_history.jsonl, so the baseline's trajectory survives:
+# BENCH_machine.json is always the latest measurement, the history the
+# line-per-run log you can plot or bisect against.
+#
 #   scripts/bench.sh            # default -benchtime 3x
 #   BENCHTIME=10x scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_machine.json
+hist=BENCH_history.jsonl
 benchtime="${BENCHTIME:-3x}"
 
 raw="$(go test -run '^$' -bench 'BenchmarkMachineInstructions$|BenchmarkFleetQuanta$' -benchtime "$benchtime" .)"
@@ -42,3 +48,14 @@ cat > "$out" <<EOF
 }
 EOF
 echo "wrote $out"
+
+# Append the same record, flattened to one line and stamped with the time
+# and commit, to the running history.
+at="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+dirty=""
+git diff --quiet HEAD 2>/dev/null || dirty="-dirty"
+printf '{"at": "%s", "commit": "%s", "goos": "%s", "goarch": "%s", "cpu": "%s", "go": "%s", "benchtime": "%s", "machine_insts_per_sec": %s, "fleet_quanta_per_sec": %s}\n' \
+  "$at" "$commit$dirty" "$(field goos)" "$(field goarch)" "$(field cpu)" \
+  "$(go env GOVERSION)" "$benchtime" "$insts" "$quanta" >> "$hist"
+echo "appended $hist ($at, $commit$dirty)"
