@@ -174,16 +174,17 @@ func BenchmarkFigureMigrate(b *testing.B) {
 
 // BenchmarkMachineInstructions is the simulator's raw speed baseline:
 // simulated instructions retired per wall-clock second by one core
-// interpreting a plain binary. scripts/bench.sh records it in
-// BENCH_machine.json so regressions in the interpreter's hot loop show up
-// as a number, not a feeling.
+// executing a plain binary under the default engine (superblock).
+// scripts/bench.sh records it in BENCH_machine.json so regressions in the
+// engine's hot paths show up as a number, not a feeling, and
+// scripts/bench_check.sh gates CI on it.
 func BenchmarkMachineInstructions(b *testing.B) {
 	bin, err := workload.MustByName("libquantum").CompilePlain()
 	if err != nil {
 		b.Fatal(err)
 	}
 	m := machine.New(machine.Config{Cores: 1})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func ablationEdgePolicy(b *testing.B) map[string]float64 {
 			b.Fatal(err)
 		}
 		m := machine.New(machine.Config{Cores: 1})
-		p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+		p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -314,7 +315,7 @@ func ablationNTPolicy(b *testing.B, pol cache.NTPolicy) (victimQoS, hostSelfPerf
 		if err != nil {
 			b.Fatal(err)
 		}
-		vp, _ := m.Attach(0, vb, machine.ProcessOptions{Restart: true})
+		vp, _ := m.Attach(0, vb, machine.ProcessConfig{Restart: true})
 		m.RunSeconds(1.5)
 		return float64(vp.Counters().Insts)
 	}()
@@ -322,7 +323,7 @@ func ablationNTPolicy(b *testing.B, pol cache.NTPolicy) (victimQoS, hostSelfPerf
 	run := func(nt bool) (victim, host float64) {
 		m := machine.New(machine.Config{Cores: 2, Hierarchy: hier})
 		vb, _ := workload.MustByName("er-naive").CompilePlain()
-		vp, _ := m.Attach(0, vb, machine.ProcessOptions{Restart: true})
+		vp, _ := m.Attach(0, vb, machine.ProcessConfig{Restart: true})
 		mod := workload.MustByName("libquantum").Module()
 		if nt {
 			for _, ld := range mod.Loads() {
@@ -336,7 +337,7 @@ func ablationNTPolicy(b *testing.B, pol cache.NTPolicy) (victimQoS, hostSelfPerf
 		if err != nil {
 			b.Fatal(err)
 		}
-		hp, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+		hp, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,9 +358,9 @@ func ablationSearch(b *testing.B, noBounds bool) int {
 	}
 	m := machine.New(machine.Config{Cores: 4})
 	eb, _ := workload.MustByName("er-naive").CompilePlain()
-	ep, _ := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ep, _ := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	hb, _ := workload.MustByName("libquantum").CompileProtean()
-	hp, _ := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	hp, _ := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	rt, err := core.New(core.Config{Machine: m, Host: hp, RuntimeCore: 2})
 	if err != nil {
 		b.Fatal(err)
@@ -387,9 +388,9 @@ func ablationFluxOverhead(b *testing.B, periodMS uint64) float64 {
 	m := machine.New(machine.Config{Cores: 2})
 	ms := uint64(m.Config().FreqHz / 1000)
 	eb, _ := workload.MustByName("er-naive").CompilePlain()
-	ep, _ := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ep, _ := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	hb, _ := workload.MustByName("libquantum").CompilePlain()
-	hp, _ := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	hp, _ := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	flux := qos.NewFluxMonitor(m, hp, ep, periodMS*ms, 4*ms)
 	m.AddAgent(flux)
 	m.RunSeconds(3)
@@ -415,7 +416,7 @@ func ablationPrefetchLead(b *testing.B, iters int64) float64 {
 		b.Fatal(err)
 	}
 	m := machine.New(machine.Config{Cores: 2})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -23,6 +23,7 @@ func main() {
 		scale   = flag.String("scale", "quick", "experiment scale: bench|quick|full")
 		list    = flag.Bool("list", false, "list artifact keys")
 		workers = flag.Int("workers", harness.DefaultWorkers(), "max concurrent experiment runs (1 = serial; results are identical at any setting)")
+		engine  = flag.String("engine", "", "machine execution engine: superblock|interp (default: the machine default; engines are bit-identical)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Workers = *workers
+	sc.Engine = *engine
 	r := harness.NewRunner(sc)
 
 	arts := harness.Artifacts()

@@ -28,6 +28,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
+	"repro/internal/machine"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		systemName = flag.String("system", "pc3d", "mitigation system: none|pc3d|reqos")
 		target     = flag.Float64("target", 0.95, "QoS target")
 		seed       = flag.Int64("seed", 1, "fleet seed (fixed seed = bit-identical metrics at any -workers)")
+		engine     = flag.String("engine", machine.DefaultEngine, "execution engine: superblock|interp (bit-identical)")
 		workers    = flag.Int("workers", 0, "max concurrent server simulations (0 = NumCPU)")
 		solo       = flag.Float64("solo", 1, "solo calibration seconds per app")
 		settle     = flag.Float64("settle", 5.5, "settle seconds before measurement")
@@ -156,6 +158,7 @@ func main() {
 		Target:             *target,
 		Policy:             policy,
 		Seed:               *seed,
+		Engine:             *engine,
 		Workers:            *workers,
 		SoloSeconds:        *solo,
 		SettleSeconds:      *settle,

@@ -31,6 +31,7 @@ func main() {
 		stress  = flag.Duration("stress", 0, "attach a protean runtime recompiling random functions at this interval (0 = off)")
 		sameCPU = flag.Bool("same-core", false, "run the stress runtime on the host's core")
 		itrace  = flag.Int("itrace", 0, "dump the last N executed instructions at exit")
+		engine  = flag.String("engine", machine.DefaultEngine, "execution engine: superblock|interp (bit-identical; interp is the single-step oracle)")
 
 		metricsPath = flag.String("metrics", "", "write run telemetry in Prometheus text format to this file (- = stdout)")
 		tracePath   = flag.String("trace", "", "write the telemetry event trace as JSONL to this file (- = stdout)")
@@ -64,8 +65,8 @@ func main() {
 	if *metricsPath != "" || *tracePath != "" || *spansPath != "" {
 		reg = telemetry.New(telemetry.Config{})
 	}
-	m := machine.New(machine.Config{Cores: 2, Telemetry: reg})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, TraceDepth: *itrace})
+	m := machine.New(machine.Config{Cores: 2, Engine: *engine, Telemetry: reg})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true, TraceDepth: *itrace})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcrun: %v\n", err)
 		os.Exit(1)

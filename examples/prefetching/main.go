@@ -25,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	m := machine.New(machine.Config{Cores: 2})
-	host, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func main() {
 
 	// 3. Run it on a simulated core.
 	m := machine.New(machine.Config{Cores: 2})
-	proc, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	proc, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -85,24 +85,43 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	// stamp orders lines for LRU: higher = more recently used.
-	stamp uint64
-	// owner is the core that filled the line (occupancy attribution).
-	owner int8
-}
-
 // Cache is one set-associative level. Not safe for concurrent use; the
 // machine is single-threaded by design.
+//
+// Line state is stored structure-of-arrays (parallel tag/stamp/owner
+// slices indexed way-major within each set, with the valid bit folded into
+// the tag word) rather than as a slice of line structs: the hit scan — the
+// hottest loop in the whole simulator — then reads a contiguous run of
+// eight or sixteen tag words, one or two host cache lines, instead of
+// striding through 32-byte structs.
 type Cache struct {
-	cfg      Config
-	sets     []([]line)
-	numSets  uint64
+	cfg     Config
+	numSets uint64
+	// pow2 set counts index with mask+shift; a non-power-of-two geometry
+	// falls back to div/mod. Identical results either way.
+	pow2     bool
+	setMask  uint64
+	setShift uint
 	lineBits uint
-	clock    uint64
-	stats    Stats
+	assoc    int
+	// Way-major line state: set s occupies [s*assoc, (s+1)*assoc).
+	// tags holds (tag<<1)|1 for valid lines and 0 for invalid ones, so the
+	// hit scan compares against a single contiguous array.
+	tags []uint64
+	// stamp orders lines for LRU: higher = more recently used.
+	stamps []uint64
+	// owner is the core that filled the line (occupancy attribution).
+	owners []int8
+	clock  uint64
+	stats  Stats
+	// lastLine/lastIdx memoize the line the previous access left resident
+	// (lastIdx < 0 after an NT-bypass miss or Reset). An access that
+	// repeats the previous line address is a guaranteed hit at that index —
+	// nothing has touched this level in between, so nothing can have
+	// evicted it — which turns the streaming-access common case (several
+	// consecutive accesses per 64-byte line) into one compare.
+	lastLine uint64
+	lastIdx  int
 }
 
 // New builds a cache level. It panics on a malformed geometry (configs are
@@ -120,15 +139,22 @@ func New(cfg Config) *Cache {
 	numSets := cfg.SizeBytes / (cfg.LineSize * cfg.Assoc)
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]line, numSets),
 		numSets: uint64(numSets),
-	}
-	backing := make([]line, numSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+		assoc:   cfg.Assoc,
+		tags:    make([]uint64, numSets*cfg.Assoc),
+		stamps:  make([]uint64, numSets*cfg.Assoc),
+		owners:  make([]int8, numSets*cfg.Assoc),
+		lastIdx: -1,
 	}
 	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
 		c.lineBits++
+	}
+	if n := uint64(numSets); n&(n-1) == 0 {
+		c.pow2 = true
+		c.setMask = n - 1
+		for s := n; s > 1; s >>= 1 {
+			c.setShift++
+		}
 	}
 	return c
 }
@@ -141,17 +167,22 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+		c.owners[i] = 0
 	}
 	c.clock = 0
 	c.stats = Stats{}
+	c.lastLine = 0
+	c.lastIdx = -1
 }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	lineAddr := addr >> c.lineBits
+	if c.pow2 {
+		return lineAddr & c.setMask, lineAddr >> c.setShift
+	}
 	return lineAddr % c.numSets, lineAddr / c.numSets
 }
 
@@ -167,41 +198,68 @@ func (c *Cache) Access(addr uint64, nt bool) (hit, evicted bool) {
 func (c *Cache) AccessBy(core int, addr uint64, nt bool) (hit, evicted bool) {
 	c.stats.Accesses++
 	c.clock++
-	set, tag := c.index(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+	lineAddr := addr >> c.lineBits
+	// Repeated-line fast path: the previous access left exactly this line
+	// resident at lastIdx, and nothing has accessed this level since, so
+	// it is a hit with no set scan. Bookkeeping is identical to the scan
+	// hit below.
+	if lineAddr == c.lastLine && c.lastIdx >= 0 {
+		c.stats.Hits++
+		if nt && c.cfg.NT == NTBypass {
+			c.stamps[c.lastIdx] = 0
+			c.stats.NTDemoted++
+		} else {
+			c.stamps[c.lastIdx] = c.clock
+		}
+		return true, false
+	}
+	var set, tag uint64
+	if c.pow2 {
+		set, tag = lineAddr&c.setMask, lineAddr>>c.setShift
+	} else {
+		set, tag = lineAddr%c.numSets, lineAddr/c.numSets
+	}
+	want := tag<<1 | 1
+	lo := int(set) * c.assoc
+	hi := lo + c.assoc
+	tags := c.tags[lo:hi:hi]
+	for i := range tags {
+		if tags[i] == want {
 			c.stats.Hits++
 			if nt && c.cfg.NT == NTBypass {
 				// Demote on NT hit: next victim in this set.
-				lines[i].stamp = 0
+				c.stamps[lo+i] = 0
 				c.stats.NTDemoted++
 			} else {
-				lines[i].stamp = c.clock
+				c.stamps[lo+i] = c.clock
 			}
+			c.lastLine, c.lastIdx = lineAddr, lo+i
 			return true, false
 		}
 	}
 	c.stats.Misses++
 	if nt && c.cfg.NT == NTBypass {
 		c.stats.NTBypassed++
+		// The line is not resident; poison the memo.
+		c.lastIdx = -1
 		return false, false
 	}
 	// Victim: invalid line if any, else lowest stamp.
 	victim := 0
 	var best uint64 = ^uint64(0)
-	for i := range lines {
-		if !lines[i].valid {
+	stamps := c.stamps[lo:hi:hi]
+	for i := range tags {
+		if tags[i]&1 == 0 {
 			victim = i
 			best = 0
 			break
 		}
-		if lines[i].stamp < best {
-			best = lines[i].stamp
+		if stamps[i] < best {
+			best = stamps[i]
 			victim = i
 		}
 	}
-	if lines[victim].valid {
+	if tags[victim]&1 != 0 {
 		c.stats.Evictions++
 		evicted = true
 	}
@@ -210,7 +268,10 @@ func (c *Cache) AccessBy(core int, addr uint64, nt bool) (hit, evicted bool) {
 		stamp = 0
 		c.stats.NTDemoted++
 	}
-	lines[victim] = line{tag: tag, valid: true, stamp: stamp, owner: int8(core)}
+	tags[victim] = want
+	stamps[victim] = stamp
+	c.owners[lo+victim] = int8(core)
+	c.lastLine, c.lastIdx = lineAddr, lo+victim
 	return false, evicted
 }
 
@@ -220,11 +281,9 @@ func (c *Cache) OccupancyByOwner(counts []int) {
 	for i := range counts {
 		counts[i] = 0
 	}
-	for s := range c.sets {
-		for _, l := range c.sets[s] {
-			if l.valid && int(l.owner) < len(counts) && l.owner >= 0 {
-				counts[l.owner]++
-			}
+	for i, t := range c.tags {
+		if o := c.owners[i]; t&1 != 0 && int(o) < len(counts) && o >= 0 {
+			counts[o]++
 		}
 	}
 }
@@ -233,8 +292,10 @@ func (c *Cache) OccupancyByOwner(counts []int) {
 // counters. Tests and occupancy measurements use it.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, l := range c.sets[set] {
-		if l.valid && l.tag == tag {
+	want := tag<<1 | 1
+	lo := int(set) * c.assoc
+	for i := lo; i < lo+c.assoc; i++ {
+		if c.tags[i] == want {
 			return true
 		}
 	}
@@ -246,15 +307,14 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Occupancy(lo, hi uint64) int {
 	loLine, hiLine := lo>>c.lineBits, hi>>c.lineBits
 	n := 0
-	for s := uint64(0); s < c.numSets; s++ {
-		for _, l := range c.sets[s] {
-			if !l.valid {
-				continue
-			}
-			lineAddr := l.tag*c.numSets + s
-			if lineAddr >= loLine && lineAddr < hiLine {
-				n++
-			}
+	for i, t := range c.tags {
+		if t&1 == 0 {
+			continue
+		}
+		set := uint64(i / c.assoc)
+		lineAddr := (t>>1)*c.numSets + set
+		if lineAddr >= loLine && lineAddr < hiLine {
+			n++
 		}
 	}
 	return n
@@ -263,11 +323,9 @@ func (c *Cache) Occupancy(lo, hi uint64) int {
 // ValidLines counts all valid lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for s := range c.sets {
-		for _, l := range c.sets[s] {
-			if l.valid {
-				n++
-			}
+	for _, t := range c.tags {
+		if t&1 != 0 {
+			n++
 		}
 	}
 	return n

@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // HierarchyConfig sizes a multicore cache hierarchy: a private L1 and L2
 // per core and one shared LLC.
@@ -43,6 +46,25 @@ type Hierarchy struct {
 	l2  []*Cache
 	llc *Cache
 	per []CoreStats
+	// Memoized MLP-derived constants for the batched replay paths: every
+	// engine passes the same mlp on every call, so the shift/divide choice
+	// and the L1-hit stall are computed once per distinct value instead of
+	// per batch. mlpMemo is 0 (never a legal mlp) until first use.
+	mlpMemo    uint64
+	mlpShift   int
+	l1HitStall uint64
+}
+
+// setMLP recomputes the memoized replay constants for a new mlp value.
+func (h *Hierarchy) setMLP(mlp uint64) {
+	h.mlpMemo = mlp
+	// latency/mlp is on the per-load hot path; a power-of-two divisor (the
+	// default MLP is 4) becomes a shift. Identical quotients either way.
+	h.mlpShift = -1
+	if mlp != 0 && mlp&(mlp-1) == 0 {
+		h.mlpShift = bits.TrailingZeros64(mlp)
+	}
+	h.l1HitStall = uint64(h.cfg.L1.HitLatency) / mlp
 }
 
 // NewHierarchy builds the hierarchy for cfg.Cores cores.
@@ -109,6 +131,138 @@ func (h *Hierarchy) Prefetch(core int, addr uint64, nt bool) {
 	if hit, _ := h.llc.AccessBy(core, addr, nt); !hit {
 		h.per[core].LLCMisses++
 	}
+}
+
+// AccessKind tags one entry of a batched access list.
+type AccessKind uint8
+
+// Batched access kinds.
+const (
+	// AccessLoad is a demand read; it contributes its level latency to
+	// Replay's summed stall.
+	AccessLoad AccessKind = iota
+	// AccessStore is a write-allocate write (store-buffer absorbed: it
+	// disturbs cache contents but adds no stall).
+	AccessStore
+	// AccessPrefetch warms the hierarchy without stalling.
+	AccessPrefetch
+)
+
+// Access is one entry of a batched access list: a decoded memory
+// instruction's resolved address, ready to replay.
+type Access struct {
+	Addr uint64
+	Kind AccessKind
+	NT   bool
+}
+
+// Replay walks a batch of accesses through the hierarchy in one call — the
+// superblock engine's entry point. The batch replays in order, so cache
+// and counter state after Replay is identical to issuing the same
+// sequence through Load/Store/Prefetch one call at a time. The return
+// value is the summed load stall in cycles: each AccessLoad contributes
+// latency/mlp, divided per access (matching the interpreter's
+// per-instruction integer rounding); stores and prefetches contribute
+// nothing. mlp must be >= 1.
+func (h *Hierarchy) Replay(core int, accs []Access, mlp uint64) uint64 {
+	if mlp != h.mlpMemo {
+		h.setMLP(mlp)
+	}
+	shift, l1HitStall := h.mlpShift, h.l1HitStall
+	l1 := h.l1[core]
+	// The L1 repeated-line fast path is only equivalent when an NT hit at
+	// the L1 behaves like an ordinary hit (true for every policy except
+	// NTBypass's demote-on-hit); NT accesses otherwise take the full walk.
+	ntSafe := l1.cfg.NT != NTBypass
+	var stall uint64
+	for i := range accs {
+		a := &accs[i]
+		// Repeated-line fast path, inlined from AccessBy: the previous L1
+		// access left exactly this line resident and MRU, so this access is
+		// a guaranteed L1 hit regardless of kind — loads stall one L1 hit,
+		// stores and prefetches are absorbed. Bookkeeping is identical to
+		// the walk's L1-hit outcome.
+		if a.Addr>>l1.lineBits == l1.lastLine && l1.lastIdx >= 0 && (ntSafe || !a.NT) {
+			l1.stats.Accesses++
+			l1.stats.Hits++
+			l1.clock++
+			l1.stamps[l1.lastIdx] = l1.clock
+			if a.Kind == AccessLoad {
+				stall += l1HitStall
+			}
+			continue
+		}
+		switch a.Kind {
+		case AccessLoad:
+			lat := uint64(h.Load(core, a.Addr, a.NT))
+			if shift >= 0 {
+				stall += lat >> uint(shift)
+			} else {
+				stall += lat / mlp
+			}
+		case AccessStore:
+			h.Store(core, a.Addr, a.NT)
+		case AccessPrefetch:
+			h.Prefetch(core, a.Addr, a.NT)
+		}
+	}
+	return stall
+}
+
+// ReplayLoads is Replay specialized for a batch of ordinary (non-NT)
+// demand loads — the dominant batch shape. Semantics are exactly Replay's
+// with every access an AccessLoad with NT false: same walk, same counters,
+// same summed stall.
+func (h *Hierarchy) ReplayLoads(core int, addrs []uint64, mlp uint64) uint64 {
+	if mlp != h.mlpMemo {
+		h.setMLP(mlp)
+	}
+	shift, l1HitStall := h.mlpShift, h.l1HitStall
+	l1 := h.l1[core]
+	var stall uint64
+	n := len(addrs)
+	for i := 0; i < n; {
+		// Repeated-line runs (see Replay's fast path): a stretch of k
+		// consecutive loads to the previously-touched line are k guaranteed
+		// L1 hits with nothing else touching the set in between, so only
+		// the final LRU stamp is observable. Settle the whole stretch with
+		// one set of counter bumps — identical end state to k walks.
+		if la := addrs[i] >> l1.lineBits; la == l1.lastLine && l1.lastIdx >= 0 {
+			j := i + 1
+			for j < n && addrs[j]>>l1.lineBits == la {
+				j++
+			}
+			k := uint64(j - i)
+			l1.stats.Accesses += k
+			l1.stats.Hits += k
+			l1.clock += k
+			l1.stamps[l1.lastIdx] = l1.clock
+			stall += k * l1HitStall
+			i = j
+			continue
+		}
+		lat := uint64(h.Load(core, addrs[i], false))
+		if shift >= 0 {
+			stall += lat >> uint(shift)
+		} else {
+			stall += lat / mlp
+		}
+		i++
+	}
+	return stall
+}
+
+// MaxLatency returns the largest latency any single access can incur —
+// the worst level of the walk. Engines use it to bound a superblock's
+// worst-case cost.
+func (h *Hierarchy) MaxLatency() int {
+	m := h.cfg.MemLatency
+	for _, l := range []int{h.cfg.L1.HitLatency, h.cfg.L2.HitLatency, h.cfg.LLC.HitLatency} {
+		if l > m {
+			m = l
+		}
+	}
+	return m
 }
 
 // LLC exposes the shared level for occupancy measurements.

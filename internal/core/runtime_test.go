@@ -41,7 +41,7 @@ func setup(t testing.TB, cfg Config) (*machine.Machine, *machine.Process, *Runti
 		t.Fatalf("Compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 2})
-	host, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -61,7 +61,7 @@ func TestAttachRequiresProtean(t *testing.T) {
 		t.Fatalf("Compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 1})
-	host, _ := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	host, _ := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if _, err := New(Config{Machine: m, Host: host}); !errors.Is(err, ErrNotProtean) {
 		t.Fatalf("Attach error = %v, want ErrNotProtean", err)
 	}

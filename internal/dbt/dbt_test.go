@@ -19,7 +19,7 @@ func slowdown(t *testing.T, app string, cfg *machine.DBTConfig) float64 {
 			t.Fatalf("compile %s: %v", app, err)
 		}
 		m := machine.New(machine.Config{Cores: 1})
-		p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, DBT: d})
+		p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true, DBT: d})
 		if err != nil {
 			t.Fatalf("attach: %v", err)
 		}

@@ -1,0 +1,33 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestFleetIdenticalAcrossEngines extends the determinism contract to the
+// execution-engine axis: the interp oracle and the superblock engine must
+// produce identical cluster metrics for the same seed, the same way any
+// worker count must.
+func TestFleetIdenticalAcrossEngines(t *testing.T) {
+	run := func(engine string) Metrics {
+		cfg := testConfig(2)
+		cfg.Engine = engine
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	interp := run(machine.EngineInterp)
+	superblock := run(machine.EngineSuperblock)
+	if !reflect.DeepEqual(interp, superblock) {
+		t.Fatalf("metrics diverge across engines:\ninterp:     %+v\nsuperblock: %+v", interp, superblock)
+	}
+}

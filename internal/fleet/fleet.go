@@ -91,6 +91,10 @@ type Config struct {
 	// Seed derives every server's machine seed; a fixed seed gives
 	// bit-identical metrics at any worker count.
 	Seed int64
+	// Engine selects the machine execution engine on every server
+	// ("" = machine.DefaultEngine). Engines are bit-identical, so fleet
+	// metrics are unchanged by this knob.
+	Engine string
 	// Workers bounds concurrent server simulations (default
 	// runtime.NumCPU()).
 	Workers int
@@ -625,8 +629,8 @@ func (f *Fleet) calibrate(apps []string) error {
 // soloRates measures an app's interference-free BPS, IPS and LLC miss
 // rate on a dedicated machine.
 func (f *Fleet) soloRates(bin *progbin.Binary) (bps, ips, missRate float64, err error) {
-	m := machine.New(machine.Config{Cores: 4, Seed: f.cfg.Seed})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	m := machine.New(machine.Config{Cores: 4, Seed: f.cfg.Seed, Engine: f.cfg.Engine})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -642,8 +646,8 @@ func (f *Fleet) soloRates(bin *progbin.Binary) (bps, ips, missRate float64, err 
 
 // peakQPS measures the webservice's solo capacity in gated mode.
 func (f *Fleet) peakQPS(bin *progbin.Binary) (float64, error) {
-	m := machine.New(machine.Config{Cores: 4, Seed: f.cfg.Seed})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Gated: true})
+	m := machine.New(machine.Config{Cores: 4, Seed: f.cfg.Seed, Engine: f.cfg.Engine})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Gated: true})
 	if err != nil {
 		return 0, err
 	}

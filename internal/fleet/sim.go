@@ -100,7 +100,7 @@ func newServerSim(f *Fleet, idx int, app string, plan serverPlan) (*serverSim, e
 	cfg := f.cfg
 	reg := telemetry.New(telemetry.Config{})
 	f.serverTel[idx] = reg
-	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx), Telemetry: reg})
+	m := machine.New(machine.Config{Cores: 4, Seed: serverSeed(cfg.Seed, idx), Engine: cfg.Engine, Telemetry: reg})
 	s := &serverSim{
 		f: f, idx: idx, reg: reg, m: m, freq: m.Config().FreqHz,
 		horizon: cfg.SettleSeconds + cfg.MeasureSeconds,
@@ -110,10 +110,10 @@ func newServerSim(f *Fleet, idx int, app string, plan serverPlan) (*serverSim, e
 	s.res.Crashed = plan.crashes()
 	s.pending = append([]arrival(nil), plan.arrivals...)
 
-	wsOpts := machine.ProcessOptions{Restart: true}
+	wsOpts := machine.ProcessConfig{Restart: true}
 	tr := f.trace(idx)
 	if tr != nil {
-		wsOpts = machine.ProcessOptions{Gated: true}
+		wsOpts = machine.ProcessConfig{Gated: true}
 	}
 	ws, err := m.Attach(0, f.cal.plain[cfg.Webservice], wsOpts)
 	if err != nil {
@@ -184,7 +184,7 @@ func (s *serverSim) attachBatch(a string) error {
 	if cfg.System == SystemPC3D {
 		hb = s.f.cal.protean[a]
 	}
-	h, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	h, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestFigTimelineIdenticalAcrossEngines renders the telemetry-plane
+// timeline artifact under the interp oracle and the superblock engine and
+// requires byte-identical output: the full PC3D trace episode — flux
+// probing, napping, runtime compiles, EVT dispatches and reverts — must
+// land on the same cycles under either engine.
+func TestFigTimelineIdenticalAcrossEngines(t *testing.T) {
+	render := func(engine string) string {
+		sc := BenchScale()
+		sc.TraceSeconds = 10
+		sc.Engine = engine
+		tbl, err := NewRunner(sc).FigureTimeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	interp := render(machine.EngineInterp)
+	superblock := render(machine.EngineSuperblock)
+	if interp != superblock {
+		t.Fatalf("figtimeline diverges across engines:\n--- interp ---\n%s\n--- superblock ---\n%s", interp, superblock)
+	}
+}

@@ -44,8 +44,8 @@ func (r *Runner) Figure3() (*Table, error) {
 			return nil, 0, err
 		}
 		// The variant's own solo BPS.
-		sm := machine.New(machine.Config{Cores: 2})
-		sp, err := sm.Attach(0, bin, machine.ProcessOptions{Restart: true})
+		sm := machine.New(machine.Config{Cores: 2, Engine: r.sc.Engine})
+		sp, err := sm.Attach(0, bin, machine.ProcessConfig{Restart: true})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -58,16 +58,16 @@ func (r *Runner) Figure3() (*Table, error) {
 		minNap := 1.0
 		found := false
 		for nap := 0.0; nap <= 1.0001; nap += 0.1 {
-			m := machine.New(machine.Config{Cores: 2})
+			m := machine.New(machine.Config{Cores: 2, Engine: r.sc.Engine})
 			eb, err := r.binary("er-naive", false)
 			if err != nil {
 				return nil, 0, err
 			}
-			ep, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+			ep, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 			if err != nil {
 				return nil, 0, err
 			}
-			hp, err := m.Attach(1, bin, machine.ProcessOptions{Restart: true})
+			hp, err := m.Attach(1, bin, machine.ProcessConfig{Restart: true})
 			if err != nil {
 				return nil, 0, err
 			}

@@ -56,6 +56,7 @@ func (r *Runner) FigureChaos() (*Table, error) {
 			Policy:         fleet.RoundRobin{},
 			Seed:           1,
 			Workers:        r.sc.Workers,
+			Engine:         r.sc.Engine,
 			SoloSeconds:    r.sc.SoloSeconds,
 			SettleSeconds:  r.sc.SettleSeconds,
 			MeasureSeconds: r.sc.MeasureSeconds,

@@ -64,6 +64,7 @@ func (r *Runner) FleetCompare(webservice string, mix datacenter.Mix) (FleetCompa
 		Policy:         fleet.RoundRobin{},
 		Seed:           1,
 		Workers:        r.sc.Workers,
+		Engine:         r.sc.Engine,
 		SoloSeconds:    r.sc.SoloSeconds,
 		SettleSeconds:  r.sc.SettleSeconds,
 		MeasureSeconds: r.sc.MeasureSeconds,

@@ -39,6 +39,7 @@ func (r *Runner) migrateFleetConfig(migrate bool) fleet.Config {
 		Policy:         fleet.RoundRobin{},
 		Seed:           7,
 		Workers:        r.sc.Workers,
+		Engine:         r.sc.Engine,
 		SoloSeconds:    r.sc.SoloSeconds,
 		SettleSeconds:  r.sc.SettleSeconds,
 		MeasureSeconds: r.sc.MeasureSeconds,

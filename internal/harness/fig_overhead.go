@@ -14,8 +14,8 @@ import (
 // stressInterval > 0 a protean runtime is attached (on runtimeCore, or the
 // host's own core for core.SameCore) with a recompilation stress driver.
 func (r *Runner) runAlone(bin *progbin.Binary, dbtCfg *machine.DBTConfig, stressInterval float64, runtimeCore int) (uint64, error) {
-	m := machine.New(machine.Config{Cores: 4})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true, DBT: dbtCfg})
+	m := machine.New(machine.Config{Cores: 4, Engine: r.sc.Engine})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true, DBT: dbtCfg})
 	if err != nil {
 		return 0, err
 	}

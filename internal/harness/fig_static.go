@@ -132,8 +132,8 @@ func (r *Runner) Figure8() (*Table, error) {
 		if err != nil {
 			return err
 		}
-		m := machine.New(machine.Config{Cores: 2})
-		p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+		m := machine.New(machine.Config{Cores: 2, Engine: r.sc.Engine})
+		p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 		if err != nil {
 			return err
 		}

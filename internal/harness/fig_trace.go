@@ -40,8 +40,8 @@ func (r *Runner) runTrace(system System, samples int) ([]traceSample, *telemetry
 	if err != nil {
 		return nil, nil, err
 	}
-	cm := machine.New(machine.Config{Cores: 4})
-	cp, err := cm.Attach(0, wsBin, machine.ProcessOptions{Gated: true})
+	cm := machine.New(machine.Config{Cores: 4, Engine: r.sc.Engine})
+	cp, err := cm.Attach(0, wsBin, machine.ProcessConfig{Gated: true})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -51,12 +51,12 @@ func (r *Runner) runTrace(system System, samples int) ([]traceSample, *telemetry
 	// series (and, for figtimeline, the event trace) without hand-carried
 	// accumulators.
 	reg := telemetry.New(telemetry.Config{})
-	m := machine.New(machine.Config{Cores: 4, Telemetry: reg})
+	m := machine.New(machine.Config{Cores: 4, Engine: r.sc.Engine, Telemetry: reg})
 	wsBin2, err := r.binary(wsName, false)
 	if err != nil {
 		return nil, nil, err
 	}
-	ws, err := m.Attach(0, wsBin2, machine.ProcessOptions{Gated: true})
+	ws, err := m.Attach(0, wsBin2, machine.ProcessConfig{Gated: true})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,7 +64,7 @@ func (r *Runner) runTrace(system System, samples int) ([]traceSample, *telemetry
 	if err != nil {
 		return nil, nil, err
 	}
-	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		return nil, nil, err
 	}

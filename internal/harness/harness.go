@@ -55,6 +55,11 @@ type Scale struct {
 	// Every simulated machine is independent, so results are identical at
 	// any worker count; rows stay in paper order.
 	Workers int
+	// Engine selects the machine execution engine for every experiment
+	// ("" = machine.DefaultEngine). Engines are bit-identical, so figures
+	// and tables are unchanged by this knob; it exists for differential
+	// testing and benchmarking.
+	Engine string
 }
 
 // FullScale approximates the paper's experiment coverage.
@@ -262,8 +267,8 @@ func (r *Runner) runSolo(name string) (SoloRates, error) {
 	if err != nil {
 		return SoloRates{}, err
 	}
-	m := machine.New(machine.Config{Cores: 4})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	m := machine.New(machine.Config{Cores: 4, Engine: r.sc.Engine})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		return SoloRates{}, err
 	}
@@ -304,12 +309,12 @@ func (r *Runner) runPair(host, ext string, system System, target float64) (PairR
 		return PairResult{}, err
 	}
 
-	m := machine.New(machine.Config{Cores: 4})
+	m := machine.New(machine.Config{Cores: 4, Engine: r.sc.Engine})
 	eb, err := r.binary(ext, false)
 	if err != nil {
 		return PairResult{}, err
 	}
-	ep, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ep, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		return PairResult{}, err
 	}
@@ -317,7 +322,7 @@ func (r *Runner) runPair(host, ext string, system System, target float64) (PairR
 	if err != nil {
 		return PairResult{}, err
 	}
-	hp, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	hp, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		return PairResult{}, err
 	}

@@ -22,7 +22,7 @@ func dynCounts(t *testing.T, m *ir.Module) machine.Counters {
 	}
 	bin := &progbin.Binary{Program: prog}
 	mm := machine.New(machine.Config{Cores: 1})
-	p, err := mm.Attach(0, bin, machine.ProcessOptions{})
+	p, err := mm.Attach(0, bin, machine.ProcessConfig{})
 	if err != nil {
 		t.Fatalf("attach: %v", err)
 	}

@@ -87,7 +87,7 @@ func TestGeneratorGrantsProportionally(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	p, _ := m.Attach(0, bin, spec.ProcessConfig())
 	gen := NewGenerator(p, Constant(0.5), 1000) // 500 req/s offered
 	m.AddAgent(gen)
 	m.RunSeconds(2)
@@ -106,7 +106,7 @@ func TestGeneratorFollowsTrace(t *testing.T) {
 	spec := workload.MustByName("web-search")
 	bin, _ := spec.CompilePlain()
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	p, _ := m.Attach(0, bin, spec.ProcessConfig())
 	trace := Steps{{Until: 1, Load: 1.0}, {Until: 2, Load: 0.1}}
 	gen := NewGenerator(p, trace, 1000)
 	m.AddAgent(gen)
@@ -129,7 +129,7 @@ func TestMeasureCapacity(t *testing.T) {
 	spec := workload.MustByName("web-search")
 	bin, _ := spec.CompilePlain()
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	p, _ := m.Attach(0, bin, spec.ProcessConfig())
 	qps := MeasureCapacity(m, p, 1000)
 	if qps <= 0 {
 		t.Fatalf("capacity = %v", qps)

@@ -19,7 +19,7 @@ func BenchmarkInterpreter(b *testing.B) {
 	bin := compile(b, mb.MustBuild(), false)
 
 	m := New(Config{Cores: 1})
-	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func BenchmarkInterpreter(b *testing.B) {
 func BenchmarkInterpreterMemory(b *testing.B) {
 	bin := compile(b, streamModule(b, "stream", 8<<20), false)
 	m := New(Config{Cores: 1})
-	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func BenchmarkQuadCoreContention(b *testing.B) {
 	m := New(Config{Cores: 4})
 	for c := 0; c < 4; c++ {
 		bin := compile(b, streamModule(b, "s", 4<<20), false)
-		if _, err := m.Attach(c, bin, ProcessOptions{Restart: true}); err != nil {
+		if _, err := m.Attach(c, bin, ProcessConfig{Restart: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +79,7 @@ func BenchmarkMachine(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			bin := compile(b, streamModule(b, "stream", 4<<20), false)
 			m := New(Config{Cores: 2, Telemetry: tc.reg})
-			if _, err := m.Attach(0, bin, ProcessOptions{Restart: true}); err != nil {
+			if _, err := m.Attach(0, bin, ProcessConfig{Restart: true}); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
@@ -95,7 +95,7 @@ func BenchmarkMachine(b *testing.B) {
 func BenchmarkEVTDispatch(b *testing.B) {
 	bin := compile(b, streamModule(b, "app", 1<<20), true)
 	m := New(Config{Cores: 1})
-	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
 	if err != nil {
 		b.Fatal(err)
 	}

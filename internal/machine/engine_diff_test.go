@@ -1,0 +1,118 @@
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// lockstep runs one binary under both engines on separate machines and
+// compares the full architectural surface at every quantum boundary:
+// counters, the sampled PC, and the halt flag. drive, when non-nil, is
+// applied to both processes before each quantum (load grants, nap levels,
+// sleeps, steals), so scenario tests exercise every scheduling state.
+func lockstep(t *testing.T, name string, cfg machine.ProcessConfig, quanta int, drive func(q int, p *machine.Process)) {
+	t.Helper()
+	type run struct {
+		m *machine.Machine
+		p *machine.Process
+	}
+	var runs [2]run
+	for i, eng := range []string{machine.EngineInterp, machine.EngineSuperblock} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown app %q", name)
+		}
+		bin, err := spec.CompilePlain()
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		m := machine.New(machine.Config{Cores: 1, Engine: eng})
+		p, err := m.Attach(0, bin, cfg)
+		if err != nil {
+			t.Fatalf("attach %s under %s: %v", name, eng, err)
+		}
+		runs[i] = run{m: m, p: p}
+	}
+	for q := 0; q < quanta; q++ {
+		for _, r := range runs {
+			if drive != nil {
+				drive(q, r.p)
+			}
+			r.m.RunQuanta(1)
+		}
+		a, b := runs[0].p, runs[1].p
+		if ca, cb := a.Counters(), b.Counters(); ca != cb {
+			t.Fatalf("%s: counters diverged at quantum %d:\n  interp:     %+v\n  superblock: %+v", name, q, cb, ca)
+		}
+		if a.CurrentPC() != b.CurrentPC() {
+			t.Fatalf("%s: PC diverged at quantum %d: interp %d, superblock %d", name, q, a.CurrentPC(), b.CurrentPC())
+		}
+		if a.Halted() != b.Halted() {
+			t.Fatalf("%s: halt state diverged at quantum %d", name, q)
+		}
+	}
+}
+
+// TestEngineDifferentialCatalog holds the superblock engine to the interp
+// oracle across the entire application catalog: equal counters and equal
+// sampled PCs at every quantum boundary. This is the tentpole's
+// bit-identity contract.
+func TestEngineDifferentialCatalog(t *testing.T) {
+	for _, spec := range workload.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := spec.ProcessConfig()
+			var drive func(int, *machine.Process)
+			if cfg.Gated {
+				// Same deterministic request schedule on both sides.
+				drive = func(q int, p *machine.Process) {
+					if q%4 == 0 {
+						p.GrantWork(3)
+					}
+				}
+			}
+			lockstep(t, spec.Name, cfg, 120, drive)
+		})
+	}
+}
+
+// TestEngineDifferentialScheduling drives the scheduling states the fused
+// path fast-forwards — partial and full napping, forced sleep, stolen
+// cycles, gated idling — through both engines in lockstep.
+func TestEngineDifferentialScheduling(t *testing.T) {
+	lockstep(t, "libquantum", machine.ProcessConfig{Restart: true}, 140, func(q int, p *machine.Process) {
+		switch q {
+		case 10:
+			p.SetNapIntensity(0.3)
+		case 40:
+			p.SetNapIntensity(1)
+		case 60:
+			p.SetNapIntensity(0)
+		case 70:
+			p.ForceSleep(2500)
+		case 90:
+			p.StealCycles(1500)
+		case 100:
+			p.SetNapIntensity(0.65)
+		case 120:
+			p.SetNapIntensity(0)
+		}
+	})
+}
+
+// TestEngineDifferentialDBT overlays the binary-translation cost model:
+// per-transfer dispatch costs and first-visit translation costs must land
+// on the same cycles under both engines.
+func TestEngineDifferentialDBT(t *testing.T) {
+	lockstep(t, "libquantum", machine.ProcessConfig{
+		Restart: true,
+		DBT: &machine.DBTConfig{
+			DirectTransferCycles:   2,
+			IndirectTransferCycles: 14,
+			TranslateCyclesPerSite: 150,
+		},
+	}, 100, nil)
+}

@@ -1,0 +1,115 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// installNTVariant builds and installs the runtime-compiler NT variant of
+// "hot", exactly as TestVariantInstallAndEVTDispatch does.
+func installNTVariant(t *testing.T, p *Process) *isa.VariantResult {
+	t.Helper()
+	emb, err := p.Binary().DecodeIR()
+	if err != nil {
+		t.Fatalf("DecodeIR: %v", err)
+	}
+	for _, ld := range emb.Loads() {
+		ld.NT = true
+	}
+	vr, err := isa.LowerVariant(p.Binary().Program, emb, "hot", 1, p.CodeCursor())
+	if err != nil {
+		t.Fatalf("LowerVariant: %v", err)
+	}
+	if err := p.InstallVariant(vr); err != nil {
+		t.Fatalf("InstallVariant: %v", err)
+	}
+	return vr
+}
+
+// TestSuperblockInstallInvalidation checks the superblock decode cache is
+// rebuilt when InstallVariant grows the code image: the decoded tables
+// must cover the appended variant before any dispatch reaches it.
+func TestSuperblockInstallInvalidation(t *testing.T) {
+	m := New(Config{Cores: 1, Engine: EngineSuperblock})
+	bin := compile(t, streamModule(t, "app", 1<<20), true)
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	m.RunQuanta(5)
+	eng, ok := p.eng.(*sbEngine)
+	if !ok {
+		t.Fatalf("engine is %T, want *sbEngine", p.eng)
+	}
+	if len(eng.ops) != len(p.code) {
+		t.Fatalf("decoded %d ops for %d-inst image before install", len(eng.ops), len(p.code))
+	}
+	vr := installNTVariant(t, p)
+	if len(eng.ops) != len(p.code) {
+		t.Fatalf("stale decode after install: %d ops for %d-inst image", len(eng.ops), len(p.code))
+	}
+	// The variant's superblocks must be immediately runnable: redirect and
+	// confirm fused execution retires its prefetches.
+	slot := p.EVT().SlotFor("hot")
+	p.EVT().SetTarget(slot, vr.Info.Entry)
+	before := p.Counters()
+	m.RunQuanta(30)
+	if p.Counters().Sub(before).Prefetches == 0 {
+		t.Fatal("installed variant never executed under superblock")
+	}
+}
+
+// TestEngineDifferentialInstallAndRevert replays the full runtime episode
+// — install mid-run, EVT redirect into the variant, then a supervisor-
+// style revert to the original entry — under both engines in lockstep,
+// requiring identical counters and PCs at every quantum boundary. The EVT
+// redirect deliberately lands between quanta while the process is
+// mid-loop, the case superblock chaining could get wrong if dispatch
+// didn't read the live table.
+func TestEngineDifferentialInstallAndRevert(t *testing.T) {
+	type run struct {
+		m *Machine
+		p *Process
+	}
+	var runs [2]run
+	for i, eng := range []string{EngineInterp, EngineSuperblock} {
+		m := New(Config{Cores: 1, Engine: eng})
+		bin := compile(t, streamModule(t, "app", 1<<20), true)
+		p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
+		if err != nil {
+			t.Fatalf("Attach under %s: %v", eng, err)
+		}
+		runs[i] = run{m: m, p: p}
+	}
+	check := func(q int) {
+		t.Helper()
+		a, b := runs[0].p, runs[1].p
+		if ca, cb := a.Counters(), b.Counters(); ca != cb {
+			t.Fatalf("counters diverged at quantum %d:\n  interp:     %+v\n  superblock: %+v", q, ca, cb)
+		}
+		if a.CurrentPC() != b.CurrentPC() {
+			t.Fatalf("PC diverged at quantum %d: interp %d, superblock %d", q, a.CurrentPC(), b.CurrentPC())
+		}
+	}
+	for q := 0; q < 90; q++ {
+		for _, r := range runs {
+			switch q {
+			case 20:
+				vr := installNTVariant(t, r.p)
+				r.p.EVT().SetTarget(r.p.EVT().SlotFor("hot"), vr.Info.Entry)
+			case 60:
+				fi, ok := r.p.Binary().Program.FuncByName("hot")
+				if !ok {
+					t.Fatal("hot not found")
+				}
+				r.p.EVT().SetTarget(r.p.EVT().SlotFor("hot"), fi.Entry)
+			}
+			r.m.RunQuanta(1)
+		}
+		check(q)
+	}
+	if runs[0].p.Counters().Prefetches == 0 {
+		t.Fatal("episode never executed the NT variant")
+	}
+}

@@ -55,6 +55,12 @@ type Config struct {
 	NapWindowCycles uint64
 	// Seed perturbs per-process address-stream randomness.
 	Seed int64
+	// Engine selects the execution engine for every attached process:
+	// EngineSuperblock (the default — decoded superblocks, batched cache
+	// walks, O(1) idle fast-forwarding) or EngineInterp (the
+	// one-instruction-at-a-time semantics oracle). Both are bit-identical;
+	// Attach rejects unknown names.
+	Engine string
 	// Telemetry receives machine-level instrumentation (quanta counter,
 	// nap-state transition events under the "machine" subsystem). Nil
 	// disables it at no cost. The registry must be owned by this machine:
@@ -80,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NapWindowCycles == 0 {
 		c.NapWindowCycles = 5 * uint64(c.FreqHz/1000) // 5 ms
+	}
+	if c.Engine == "" {
+		c.Engine = DefaultEngine
 	}
 	return c
 }
@@ -146,22 +155,33 @@ func (m *Machine) Cycles(seconds float64) uint64 {
 	return uint64(seconds * m.cfg.FreqHz)
 }
 
-// Attach loads a binary onto a core and returns the process. ProcessOptions
-// hold per-process knobs (restart-on-exit, DBT overlay).
-func (m *Machine) Attach(core int, bin *progbin.Binary, opts ProcessOptions) (*Process, error) {
+// Attach loads a binary onto a core and returns the process. ProcessConfig
+// holds per-process knobs (restart-on-exit, request gating, DBT overlay).
+// Attach fails on an out-of-range or occupied core and on an unknown
+// Config.Engine.
+func (m *Machine) Attach(core int, bin *progbin.Binary, cfg ProcessConfig) (*Process, error) {
 	if core < 0 || core >= m.cfg.Cores {
 		return nil, fmt.Errorf("machine: core %d out of range [0,%d)", core, m.cfg.Cores)
 	}
 	if m.procs[core] != nil {
 		return nil, fmt.Errorf("machine: core %d already running %q", core, m.procs[core].Name())
 	}
-	p := newProcess(m, core, bin, opts)
+	p, err := newProcess(m, core, bin, cfg)
+	if err != nil {
+		return nil, err
+	}
 	m.procs[core] = p
 	return p, nil
 }
 
-// Detach removes the process on core (between quanta only).
+// Detach removes the process on core (between quanta only) and flushes the
+// core's private caches. Out-of-range cores are a no-op, mirroring
+// Attach's bounds check (detaching an already-empty core is likewise a
+// no-op).
 func (m *Machine) Detach(core int) {
+	if core < 0 || core >= m.cfg.Cores {
+		return
+	}
 	m.procs[core] = nil
 	m.hier.FlushCore(core)
 }
@@ -196,7 +216,7 @@ func (m *Machine) RunQuanta(n int) {
 		m.now += m.cfg.QuantumCycles
 		for _, p := range m.procs {
 			if p != nil {
-				p.runUntil(m.now)
+				p.eng.RunUntil(m.now)
 			}
 		}
 		m.inTick = true
@@ -215,9 +235,13 @@ func (m *Machine) RunQuanta(n int) {
 	}
 }
 
-// RunSeconds advances the machine by a simulated duration.
+// RunSeconds advances the machine by a simulated duration. Time advances
+// in whole scheduling quanta (QuantumCycles, default 1 ms of simulated
+// time): the duration is rounded to the nearest quantum, with a minimum of
+// one. It previously truncated, so a float artifact like 0.35 s × 1000
+// quanta/s = 349.999… silently dropped a quantum.
 func (m *Machine) RunSeconds(seconds float64) {
-	quanta := int(seconds * m.cfg.FreqHz / float64(m.cfg.QuantumCycles))
+	quanta := int(seconds*m.cfg.FreqHz/float64(m.cfg.QuantumCycles) + 0.5)
 	if quanta < 1 {
 		quanta = 1
 	}

@@ -45,7 +45,7 @@ func compile(t testing.TB, m *ir.Module, protean bool) *progbin.Binary {
 func TestAttachAndRun(t *testing.T) {
 	m := New(Config{Cores: 2})
 	bin := compile(t, streamModule(t, "app", 1<<20), true)
-	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -67,17 +67,17 @@ func TestAttachAndRun(t *testing.T) {
 func TestAttachErrors(t *testing.T) {
 	m := New(Config{Cores: 1})
 	bin := compile(t, streamModule(t, "app", 1<<16), false)
-	if _, err := m.Attach(5, bin, ProcessOptions{}); err == nil {
+	if _, err := m.Attach(5, bin, ProcessConfig{}); err == nil {
 		t.Error("attach to out-of-range core succeeded")
 	}
-	if _, err := m.Attach(0, bin, ProcessOptions{}); err != nil {
+	if _, err := m.Attach(0, bin, ProcessConfig{}); err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
-	if _, err := m.Attach(0, bin, ProcessOptions{}); err == nil {
+	if _, err := m.Attach(0, bin, ProcessConfig{}); err == nil {
 		t.Error("double attach succeeded")
 	}
 	m.Detach(0)
-	if _, err := m.Attach(0, bin, ProcessOptions{}); err != nil {
+	if _, err := m.Attach(0, bin, ProcessConfig{}); err != nil {
 		t.Errorf("attach after detach: %v", err)
 	}
 }
@@ -92,7 +92,7 @@ func TestHaltWithoutRestart(t *testing.T) {
 	bin := compile(t, mb.MustBuild(), false)
 
 	m := New(Config{Cores: 1})
-	p, err := m.Attach(0, bin, ProcessOptions{})
+	p, err := m.Attach(0, bin, ProcessConfig{})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -120,7 +120,7 @@ func TestRestartCountsCompletions(t *testing.T) {
 	bin := compile(t, mb.MustBuild(), false)
 
 	m := New(Config{Cores: 1})
-	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 	m.RunQuanta(3)
 	if p.Counters().Completions < 2 {
 		t.Errorf("Completions = %d, want >= 2 with restart", p.Counters().Completions)
@@ -141,7 +141,7 @@ func TestLoopSemanticsExact(t *testing.T) {
 	bin := compile(t, mb.MustBuild(), false)
 
 	m := New(Config{Cores: 1})
-	p, _ := m.Attach(0, bin, ProcessOptions{})
+	p, _ := m.Attach(0, bin, ProcessConfig{})
 	m.RunQuanta(1)
 	if got := p.Counters().Loads; got != 7 {
 		t.Errorf("loads = %d, want exactly 7", got)
@@ -152,7 +152,7 @@ func TestNapIntensityThrottles(t *testing.T) {
 	run := func(nap float64) uint64 {
 		m := New(Config{Cores: 1})
 		bin := compile(t, streamModule(t, "app", 1<<16), false)
-		p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+		p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 		p.SetNapIntensity(nap)
 		m.RunQuanta(200)
 		return p.Counters().Insts
@@ -171,7 +171,7 @@ func TestNapIntensityThrottles(t *testing.T) {
 func TestNapIntensityClamped(t *testing.T) {
 	m := New(Config{Cores: 1})
 	bin := compile(t, streamModule(t, "app", 1<<16), false)
-	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 	p.SetNapIntensity(-1)
 	if p.NapIntensity() != 0 {
 		t.Error("negative intensity not clamped to 0")
@@ -185,7 +185,7 @@ func TestNapIntensityClamped(t *testing.T) {
 func TestForceSleepStopsProgress(t *testing.T) {
 	m := New(Config{Cores: 1})
 	bin := compile(t, streamModule(t, "app", 1<<16), false)
-	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 	m.RunQuanta(10)
 	before := p.Counters()
 	p.ForceSleep(m.Config().QuantumCycles * 5)
@@ -209,7 +209,7 @@ func TestForceSleepStopsProgress(t *testing.T) {
 func TestStealCyclesSlowsProcess(t *testing.T) {
 	m := New(Config{Cores: 1})
 	bin := compile(t, streamModule(t, "app", 1<<16), false)
-	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 	m.RunQuanta(10)
 	before := p.Counters()
 	p.StealCycles(m.Config().QuantumCycles * 3)
@@ -244,13 +244,13 @@ func TestCacheContentionDegradesCoRunner(t *testing.T) {
 	}
 
 	solo := New(Config{Cores: 2})
-	ps, _ := solo.Attach(0, compile(t, sensitive(), false), ProcessOptions{Restart: true})
+	ps, _ := solo.Attach(0, compile(t, sensitive(), false), ProcessConfig{Restart: true})
 	solo.RunQuanta(2000)
 	soloIPS := float64(ps.Counters().Insts)
 
 	co := New(Config{Cores: 2})
-	pc, _ := co.Attach(0, compile(t, sensitive(), false), ProcessOptions{Restart: true})
-	_, err := co.Attach(1, compile(t, streamModule(t, "stream", 8<<20), false), ProcessOptions{Restart: true})
+	pc, _ := co.Attach(0, compile(t, sensitive(), false), ProcessConfig{Restart: true})
+	_, err := co.Attach(1, compile(t, streamModule(t, "stream", 8<<20), false), ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -295,8 +295,8 @@ func TestNTHintsReduceCoRunnerPressure(t *testing.T) {
 	}
 	runQoS := func(nt bool) float64 {
 		mm := New(Config{Cores: 2})
-		ps, _ := mm.Attach(0, compile(t, sensitive(), false), ProcessOptions{Restart: true})
-		if _, err := mm.Attach(1, aggressor(nt), ProcessOptions{Restart: true}); err != nil {
+		ps, _ := mm.Attach(0, compile(t, sensitive(), false), ProcessConfig{Restart: true})
+		if _, err := mm.Attach(1, aggressor(nt), ProcessConfig{Restart: true}); err != nil {
 			t.Fatalf("Attach: %v", err)
 		}
 		mm.RunQuanta(2000)
@@ -313,7 +313,7 @@ func TestVariantInstallAndEVTDispatch(t *testing.T) {
 	m := New(Config{Cores: 1})
 	irm := streamModule(t, "app", 1<<20)
 	bin := compile(t, irm, true)
-	p, err := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -362,7 +362,7 @@ func TestVariantInstallAndEVTDispatch(t *testing.T) {
 func TestInstallVariantWrongBase(t *testing.T) {
 	m := New(Config{Cores: 1})
 	bin := compile(t, streamModule(t, "app", 1<<20), true)
-	p, _ := m.Attach(0, bin, ProcessOptions{})
+	p, _ := m.Attach(0, bin, ProcessConfig{})
 	emb, _ := bin.DecodeIR()
 	vr, err := isa.LowerVariant(bin.Program, emb, "hot", 1, p.CodeCursor()+10)
 	if err != nil {
@@ -376,7 +376,7 @@ func TestInstallVariantWrongBase(t *testing.T) {
 func TestFuncAtAttribution(t *testing.T) {
 	m := New(Config{Cores: 1})
 	bin := compile(t, streamModule(t, "app", 1<<20), true)
-	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 	m.RunQuanta(20)
 	name := p.CurrentFunc()
 	if name != "hot" && name != "main" {
@@ -394,7 +394,7 @@ func TestDBTOverlayAddsOverhead(t *testing.T) {
 	bin := func() *progbin.Binary { return compile(t, streamModule(t, "app", 1<<18), false) }
 	run := func(dbt *DBTConfig) (insts, cycles uint64) {
 		m := New(Config{Cores: 1})
-		p, _ := m.Attach(0, bin(), ProcessOptions{Restart: true, DBT: dbt})
+		p, _ := m.Attach(0, bin(), ProcessConfig{Restart: true, DBT: dbt})
 		m.RunQuanta(500)
 		return p.Counters().Insts, p.Counters().Cycles
 	}
@@ -442,8 +442,8 @@ func TestAddressStreamsDiffer(t *testing.T) {
 	m := New(Config{Cores: 2})
 	b1 := compile(t, streamModule(t, "a", 1<<16), false)
 	b2 := compile(t, streamModule(t, "a", 1<<16), false)
-	p1, _ := m.Attach(0, b1, ProcessOptions{Restart: true})
-	p2, _ := m.Attach(1, b2, ProcessOptions{Restart: true})
+	p1, _ := m.Attach(0, b1, ProcessConfig{Restart: true})
+	p2, _ := m.Attach(1, b2, ProcessConfig{Restart: true})
 	m.RunQuanta(10)
 	// Indirect check: both processes stream a 64 KiB buffer which fits in
 	// L2; with disjoint address spaces neither sees the other's lines, so
@@ -472,7 +472,7 @@ func TestGatedServerIdlesWithoutWork(t *testing.T) {
 	bin := compile(t, mb.MustBuild(), false)
 
 	m := New(Config{Cores: 1})
-	p, _ := m.Attach(0, bin, ProcessOptions{Gated: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Gated: true})
 	m.RunQuanta(10)
 	if p.Counters().Completions != 0 {
 		t.Fatalf("server served %d requests with no budget", p.Counters().Completions)
@@ -511,7 +511,7 @@ func TestGatedServerThroughputTracksGrants(t *testing.T) {
 	mb.SetEntry("main")
 
 	m := New(Config{Cores: 1})
-	p, _ := m.Attach(0, compile(t, mb.MustBuild(), false), ProcessOptions{Gated: true})
+	p, _ := m.Attach(0, compile(t, mb.MustBuild(), false), ProcessConfig{Gated: true})
 	// Grant 10 requests per quantum: far below capacity, so all are served.
 	total := uint64(0)
 	for i := 0; i < 100; i++ {

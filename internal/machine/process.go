@@ -39,8 +39,9 @@ type DBTConfig struct {
 	TranslateCyclesPerSite int
 }
 
-// ProcessOptions configure one attached process.
-type ProcessOptions struct {
+// ProcessConfig configures one attached process, following the repo-wide
+// Config-struct convention (core/pc3d/supervise migrated in PR 3).
+type ProcessConfig struct {
 	// Restart re-enters the program's entry function when it returns,
 	// modelling a batch job immediately rescheduled (throughput workloads).
 	Restart bool
@@ -60,6 +61,12 @@ type ProcessOptions struct {
 	// Label overrides the reported process name (defaults to module name).
 	Label string
 }
+
+// ProcessOptions is the former name of ProcessConfig.
+//
+// Deprecated: use ProcessConfig. This alias is kept for one release,
+// mirroring the core/pc3d/supervise Options→Config migrations.
+type ProcessOptions = ProcessConfig
 
 // TraceEntry is one executed instruction in a process's trace ring.
 type TraceEntry struct {
@@ -124,7 +131,8 @@ type Process struct {
 	m    *Machine
 	core int
 	bin  *progbin.Binary
-	opts ProcessOptions
+	opts ProcessConfig
+	eng  Engine
 
 	code  []isa.Inst
 	funcs []isa.FuncInfo // sorted by Entry; includes installed variants
@@ -157,7 +165,7 @@ type Process struct {
 	dbtSeen []bool
 }
 
-func newProcess(m *Machine, core int, bin *progbin.Binary, opts ProcessOptions) *Process {
+func newProcess(m *Machine, core int, bin *progbin.Binary, opts ProcessConfig) (*Process, error) {
 	p := &Process{
 		m:     m,
 		core:  core,
@@ -184,7 +192,12 @@ func newProcess(m *Machine, core int, bin *progbin.Binary, opts ProcessOptions) 
 	}
 	p.ctr.Cycles = m.now
 	p.reset()
-	return p
+	eng, err := newEngine(m.cfg.Engine, p)
+	if err != nil {
+		return nil, err
+	}
+	p.eng = eng
+	return p, nil
 }
 
 func (p *Process) reset() {
@@ -224,6 +237,9 @@ func (p *Process) EVT() *progbin.LiveEVT { return p.evt }
 
 // Counters returns a snapshot of the process's counters.
 func (p *Process) Counters() Counters { return p.ctr }
+
+// Engine returns the name of the execution engine driving this process.
+func (p *Process) Engine() string { return p.eng.Name() }
 
 // Halted reports whether the program exited (only when Restart is false).
 func (p *Process) Halted() bool { return p.halted }
@@ -360,56 +376,11 @@ func (p *Process) InstallVariant(vr *isa.VariantResult) error {
 		copy(grown, p.dbtSeen)
 		p.dbtSeen = grown
 	}
+	// The engine may hold decoded state derived from the old image; let it
+	// extend or invalidate (the old tail instruction's decoding can change
+	// now that it has a successor).
+	p.eng.CodeInstalled(len(p.code) - len(vr.Code))
 	return nil
-}
-
-// runUntil advances the process's local clock to the global quantum
-// boundary, executing instructions, naps, sleeps and stolen cycles.
-func (p *Process) runUntil(until uint64) {
-	napWindow := p.m.cfg.NapWindowCycles
-	mlp := uint64(p.m.cfg.MLP)
-	hier := p.m.hier
-	for p.ctr.Cycles < until {
-		if p.halted {
-			p.ctr.Cycles = until
-			return
-		}
-		// Forced sleep has priority (the flux probe stops even napping
-		// processes fully).
-		if p.sleepUntil > p.ctr.Cycles {
-			end := min64(p.sleepUntil, until)
-			p.ctr.SleepCycles += end - p.ctr.Cycles
-			p.ctr.Cycles = end
-			continue
-		}
-		// Stolen cycles (same-core runtime compiler).
-		if p.stealPending > 0 {
-			take := min64(p.stealPending, until-p.ctr.Cycles)
-			p.stealPending -= take
-			p.ctr.StolenCycles += take
-			p.ctr.Cycles += take
-			continue
-		}
-		// A gated server with no pending requests idles until work arrives.
-		if p.opts.Gated && p.workBudget == 0 {
-			p.ctr.IdleCycles += until - p.ctr.Cycles
-			p.ctr.Cycles = until
-			continue
-		}
-		// Napping duty cycle: sleep the first napIntensity fraction of
-		// each window.
-		if p.napIntensity > 0 {
-			wStart := p.ctr.Cycles / napWindow * napWindow
-			napEnd := wStart + uint64(p.napIntensity*float64(napWindow))
-			if p.ctr.Cycles < napEnd {
-				end := min64(napEnd, until)
-				p.ctr.NapCycles += end - p.ctr.Cycles
-				p.ctr.Cycles = end
-				continue
-			}
-		}
-		p.step(hier, mlp)
-	}
 }
 
 // step executes one instruction.

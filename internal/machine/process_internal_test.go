@@ -107,7 +107,7 @@ func addrProc(t *testing.T) *Process {
 	mb.SetEntry("main")
 	bin := compile(t, mb.MustBuild(), false)
 	m := New(Config{Cores: 1})
-	p, err := m.Attach(0, bin, ProcessOptions{})
+	p, err := m.Attach(0, bin, ProcessConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestPinPattern(t *testing.T) {
 func TestProcessAccessors(t *testing.T) {
 	bin := compile(t, streamModule(t, "acc", 1<<16), true)
 	m := New(Config{Cores: 2})
-	p, err := m.Attach(1, bin, ProcessOptions{Restart: true, Label: "relabeled"})
+	p, err := m.Attach(1, bin, ProcessConfig{Restart: true, Label: "relabeled"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestInstallVariantGrowsRegisterFrames(t *testing.T) {
 	// must invalidate the frame pool so new frames fit.
 	bin := compile(t, streamModule(t, "app", 1<<16), true)
 	m := New(Config{Cores: 1})
-	p, _ := m.Attach(0, bin, ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, ProcessConfig{Restart: true})
 	m.RunQuanta(5)
 
 	emb, err := bin.DecodeIR()
@@ -255,7 +255,7 @@ func TestInstallVariantGrowsRegisterFrames(t *testing.T) {
 func TestExecutionTrace(t *testing.T) {
 	bin := compile(t, streamModule(t, "traced", 1<<16), false)
 	m := New(Config{Cores: 1})
-	p, err := m.Attach(0, bin, ProcessOptions{Restart: true, TraceDepth: 64})
+	p, err := m.Attach(0, bin, ProcessConfig{Restart: true, TraceDepth: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestExecutionTrace(t *testing.T) {
 	}
 	// Untracked process returns nil.
 	m2 := New(Config{Cores: 1})
-	p2, _ := m2.Attach(0, compile(t, streamModule(t, "x", 1<<16), false), ProcessOptions{Restart: true})
+	p2, _ := m2.Attach(0, compile(t, streamModule(t, "x", 1<<16), false), ProcessConfig{Restart: true})
 	m2.RunQuanta(1)
 	if p2.Trace() != nil {
 		t.Error("untraced process returned a trace")
@@ -292,7 +292,7 @@ func TestTracePartialRing(t *testing.T) {
 	mb.SetEntry("main")
 	bin := compile(t, mb.MustBuild(), false)
 	m := New(Config{Cores: 1})
-	p, _ := m.Attach(0, bin, ProcessOptions{TraceDepth: 1024})
+	p, _ := m.Attach(0, bin, ProcessConfig{TraceDepth: 1024})
 	m.RunQuanta(1)
 	tr := p.Trace()
 	// 5 work instrs + ret = 6 executed.

@@ -22,7 +22,7 @@ func buildBareRig(t testing.TB, extName, hostName string) *rig {
 	if err != nil {
 		t.Fatalf("compile ext: %v", err)
 	}
-	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ext, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach ext: %v", err)
 	}
@@ -30,7 +30,7 @@ func buildBareRig(t testing.TB, extName, hostName string) *rig {
 	if err != nil {
 		t.Fatalf("compile host: %v", err)
 	}
-	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}
@@ -142,12 +142,12 @@ func TestPC3DSurvivesCompileFaults(t *testing.T) {
 	extIPS, _ := soloRates(t, "er-naive", "libquantum")
 	m := machine.New(machine.Config{Cores: 4})
 	eb, _ := workload.MustByName("er-naive").CompilePlain()
-	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ext, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach ext: %v", err)
 	}
 	hb, _ := workload.MustByName("libquantum").CompileProtean()
-	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}

@@ -139,7 +139,7 @@ func soloRates(t testing.TB, ext, host string) (extIPS, hostBPS float64) {
 			t.Fatalf("compile %s: %v", name, err)
 		}
 		m := machine.New(machine.Config{Cores: 4})
-		p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+		p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 		if err != nil {
 			t.Fatalf("attach %s: %v", name, err)
 		}
@@ -163,7 +163,7 @@ func buildRig(t testing.TB, extName, hostName string, target float64) *rig {
 	if err != nil {
 		t.Fatalf("compile ext: %v", err)
 	}
-	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ext, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach ext: %v", err)
 	}
@@ -171,7 +171,7 @@ func buildRig(t testing.TB, extName, hostName string, target float64) *rig {
 	if err != nil {
 		t.Fatalf("compile host: %v", err)
 	}
-	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}

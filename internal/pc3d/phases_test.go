@@ -53,7 +53,7 @@ func TestPC3DReactsToHostPhases(t *testing.T) {
 	// Solo reference for the external app.
 	solo := machine.New(machine.Config{Cores: 2})
 	sb, _ := extSpec.CompilePlain()
-	sp, _ := solo.Attach(0, sb, machine.ProcessOptions{Restart: true})
+	sp, _ := solo.Attach(0, sb, machine.ProcessConfig{Restart: true})
 	solo.RunSeconds(0.5)
 	c0 := sp.Counters()
 	solo.RunSeconds(1.5)
@@ -61,7 +61,7 @@ func TestPC3DReactsToHostPhases(t *testing.T) {
 
 	m := machine.New(machine.Config{Cores: 4})
 	eb, _ := extSpec.CompilePlain()
-	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ext, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestPC3DReactsToHostPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	host, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ func attach(t *testing.T, app string) (*machine.Machine, *machine.Process, *core
 		t.Fatalf("compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 2})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach: %v", err)
 	}

@@ -17,7 +17,7 @@ func soloIPS(t *testing.T) float64 {
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	p, err := m.Attach(0, b, machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, b, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach: %v", err)
 	}
@@ -36,7 +36,7 @@ func colocate(t *testing.T, host string) (*machine.Machine, *machine.Process, *m
 	if err != nil {
 		t.Fatalf("compile ext: %v", err)
 	}
-	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ext, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach ext: %v", err)
 	}
@@ -44,7 +44,7 @@ func colocate(t *testing.T, host string) (*machine.Machine, *machine.Process, *m
 	if err != nil {
 		t.Fatalf("compile host: %v", err)
 	}
-	hp, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	hp, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}
@@ -139,16 +139,16 @@ func TestThroughputQoS(t *testing.T) {
 
 	// Solo capacity first.
 	mc := machine.New(machine.Config{Cores: 2})
-	pc, _ := mc.Attach(0, bin, spec.ProcessOptions())
+	pc, _ := mc.Attach(0, bin, spec.ProcessConfig())
 	capacity := loadgen.MeasureCapacity(mc, pc, 2000)
 
 	run := func(load float64, withAggressor bool) float64 {
 		m := machine.New(machine.Config{Cores: 2})
 		b2, _ := spec.CompilePlain()
-		p, _ := m.Attach(0, b2, spec.ProcessOptions())
+		p, _ := m.Attach(0, b2, spec.ProcessConfig())
 		if withAggressor {
 			ab, _ := workload.MustByName("lbm").CompilePlain()
-			if _, err := m.Attach(1, ab, machine.ProcessOptions{Restart: true}); err != nil {
+			if _, err := m.Attach(1, ab, machine.ProcessConfig{Restart: true}); err != nil {
 				t.Fatalf("attach: %v", err)
 			}
 		}

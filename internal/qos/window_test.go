@@ -60,11 +60,11 @@ func TestThroughputWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	p, _ := m.Attach(0, bin, spec.ProcessConfig())
 
 	cm := machine.New(machine.Config{Cores: 1})
 	b2, _ := spec.CompilePlain()
-	cp, _ := cm.Attach(0, b2, spec.ProcessOptions())
+	cp, _ := cm.Attach(0, b2, spec.ProcessConfig())
 	capacity := loadgen.MeasureCapacity(cm, cp, 1000)
 
 	gen := loadgen.NewGenerator(p, loadgen.Constant(0.3), capacity)
@@ -96,7 +96,7 @@ func TestThroughputWindowNoOffered(t *testing.T) {
 	spec := workload.MustByName("web-search")
 	bin, _ := spec.CompilePlain()
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, bin, spec.ProcessOptions())
+	p, _ := m.Attach(0, bin, spec.ProcessConfig())
 	gen := loadgen.NewGenerator(p, loadgen.Constant(0), 1000)
 	m.AddAgent(gen)
 	w := &ThroughputWindow{Proc: p, Gen: gen}

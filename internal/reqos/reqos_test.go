@@ -16,7 +16,7 @@ func soloIPS(t *testing.T, name string) float64 {
 		t.Fatalf("compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 2})
-	p, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach: %v", err)
 	}
@@ -31,12 +31,12 @@ func colocate(t *testing.T, host string) (*machine.Machine, *machine.Process, *m
 	ref := soloIPS(t, "er-naive")
 	m := machine.New(machine.Config{Cores: 2})
 	eb, _ := workload.MustByName("er-naive").CompilePlain()
-	ext, err := m.Attach(0, eb, machine.ProcessOptions{Restart: true})
+	ext, err := m.Attach(0, eb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach ext: %v", err)
 	}
 	hb, _ := workload.MustByName(host).CompilePlain()
-	hp, err := m.Attach(1, hb, machine.ProcessOptions{Restart: true})
+	hp, err := m.Attach(1, hb, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("attach host: %v", err)
 	}

@@ -26,7 +26,7 @@ func BenchmarkPCSamplerGranularity(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			m := machine.New(machine.Config{Cores: 1})
-			p, err := m.Attach(0, twoHotFuncs(b), machine.ProcessOptions{Restart: true})
+			p, err := m.Attach(0, twoHotFuncs(b), machine.ProcessConfig{Restart: true})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -146,7 +146,7 @@ func TestWritePprofRawShape(t *testing.T) {
 // profile agrees with the flat one.
 func TestSamplerBlockAttribution(t *testing.T) {
 	m := machine.New(machine.Config{Cores: 1})
-	p, err := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -174,7 +174,7 @@ func TestSamplerBlockAttribution(t *testing.T) {
 	}
 	// Function-granularity fallback records no blocks at all.
 	m2 := machine.New(machine.Config{Cores: 1})
-	p2, _ := m2.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p2, _ := m2.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	s2 := NewPCSampler(p2, m2.Config().QuantumCycles)
 	s2.SetFunctionGranularity(true)
 	m2.AddAgent(s2)

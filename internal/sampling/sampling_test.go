@@ -50,7 +50,7 @@ func twoHotFuncs(t testing.TB) *progbin.Binary {
 
 func TestPCSamplerHotness(t *testing.T) {
 	m := machine.New(machine.Config{Cores: 1})
-	p, err := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p, err := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestPCSamplerHotness(t *testing.T) {
 
 func TestPCSamplerWindowReset(t *testing.T) {
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	s := NewPCSampler(p, m.Config().QuantumCycles)
 	m.AddAgent(s)
 	m.RunQuanta(100)
@@ -105,7 +105,7 @@ func TestPCSamplerWindowReset(t *testing.T) {
 
 func TestPCSamplerInterval(t *testing.T) {
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	// Interval of 10 quanta: ~1 sample per 10 ticks.
 	s := NewPCSampler(p, m.Config().QuantumCycles*10)
 	m.AddAgent(s)
@@ -117,7 +117,7 @@ func TestPCSamplerInterval(t *testing.T) {
 
 func TestMeterRates(t *testing.T) {
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	mt := NewMeter(p)
 	mt.Read(m) // establish baseline
 	m.RunQuanta(1000)
@@ -140,7 +140,7 @@ func TestMeterRates(t *testing.T) {
 func TestMeterNapReducesIPSNotIPC(t *testing.T) {
 	run := func(nap float64) Reading {
 		m := machine.New(machine.Config{Cores: 1})
-		p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+		p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 		p.SetNapIntensity(nap)
 		mt := NewMeter(p)
 		mt.Read(m)
@@ -160,7 +160,7 @@ func TestMeterNapReducesIPSNotIPC(t *testing.T) {
 
 func TestMeterPeekDoesNotConsume(t *testing.T) {
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, twoHotFuncs(t), machine.ProcessConfig{Restart: true})
 	mt := NewMeter(p)
 	mt.Read(m)
 	m.RunQuanta(100)

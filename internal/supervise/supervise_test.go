@@ -37,7 +37,7 @@ func hostProc(t testing.TB) (*machine.Machine, *machine.Process) {
 		t.Fatalf("Compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 2})
-	host, err := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	host, err := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	if err != nil {
 		t.Fatalf("Attach: %v", err)
 	}

@@ -78,14 +78,19 @@ func (s Spec) CompilePlain() (*progbin.Binary, error) {
 	return pcc.Compile(s.Module(), pcc.Options{})
 }
 
-// ProcessOptions returns the canonical machine options for the class:
+// ProcessConfig returns the canonical machine options for the class:
 // batch apps restart forever, latency-sensitive apps are request-gated.
-func (s Spec) ProcessOptions() machine.ProcessOptions {
+func (s Spec) ProcessConfig() machine.ProcessConfig {
 	if s.Class == LatencySensitive {
-		return machine.ProcessOptions{Gated: true, Label: s.Name}
+		return machine.ProcessConfig{Gated: true, Label: s.Name}
 	}
-	return machine.ProcessOptions{Restart: true, Label: s.Name}
+	return machine.ProcessConfig{Restart: true, Label: s.Name}
 }
+
+// ProcessOptions returns ProcessConfig.
+//
+// Deprecated: renamed to ProcessConfig alongside machine.ProcessConfig.
+func (s Spec) ProcessOptions() machine.ProcessConfig { return s.ProcessConfig() }
 
 // ByName returns the catalog entry with the given name.
 func ByName(name string) (Spec, bool) {

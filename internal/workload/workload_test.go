@@ -109,7 +109,7 @@ func TestColdCodeNeverExecutes(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	m := machine.New(machine.Config{Cores: 1})
-	p, _ := m.Attach(0, bin, machine.ProcessOptions{Restart: true})
+	p, _ := m.Attach(0, bin, machine.ProcessConfig{Restart: true})
 	m.RunQuanta(300)
 	if p.Counters().Insts == 0 {
 		t.Fatal("no progress")
@@ -170,18 +170,18 @@ func TestContentiousnessSpectrum(t *testing.T) {
 	qosAgainst := func(host string) float64 {
 		solo := machine.New(machine.Config{Cores: 2})
 		vb, _ := victim.CompilePlain()
-		vp, _ := solo.Attach(0, vb, machine.ProcessOptions{Restart: true})
+		vp, _ := solo.Attach(0, vb, machine.ProcessConfig{Restart: true})
 		solo.RunQuanta(1500)
 		soloInsts := float64(vp.Counters().Insts)
 
 		co := machine.New(machine.Config{Cores: 2})
 		vb2, _ := victim.CompilePlain()
-		vp2, _ := co.Attach(0, vb2, machine.ProcessOptions{Restart: true})
+		vp2, _ := co.Attach(0, vb2, machine.ProcessConfig{Restart: true})
 		hb, err := MustByName(host).CompilePlain()
 		if err != nil {
 			t.Fatalf("compile %s: %v", host, err)
 		}
-		if _, err := co.Attach(1, hb, machine.ProcessOptions{Restart: true}); err != nil {
+		if _, err := co.Attach(1, hb, machine.ProcessConfig{Restart: true}); err != nil {
 			t.Fatalf("attach %s: %v", host, err)
 		}
 		co.RunQuanta(1500)
@@ -208,7 +208,7 @@ func TestLatencySensitiveServesRequests(t *testing.T) {
 			t.Fatalf("%s: compile: %v", name, err)
 		}
 		m := machine.New(machine.Config{Cores: 1})
-		p, _ := m.Attach(0, bin, s.ProcessOptions())
+		p, _ := m.Attach(0, bin, s.ProcessConfig())
 		p.GrantWork(100)
 		m.RunQuanta(500)
 		served := p.Counters().Completions

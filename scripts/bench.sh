@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_machine.json, the per-machine performance baseline:
-# the interpreter's simulated instructions per wall-clock second and the
-# fleet simulator's scheduling quanta per wall-clock second. Run it on a
-# quiet machine and commit the result so perf regressions in the hot loops
-# show up as a diff.
+# the default execution engine's simulated instructions per wall-clock
+# second (the superblock engine, unless machine.DefaultEngine changes) and
+# the fleet simulator's scheduling quanta per wall-clock second. Run it on
+# a quiet machine and commit the result so perf regressions in the hot
+# loops show up as a diff; scripts/bench_check.sh turns the committed
+# number into a CI gate.
 #
 # Every run also appends one timestamped record (same fields plus "at" and
 # "commit") to BENCH_history.jsonl, so the baseline's trajectory survives:

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Gates machine-simulation throughput against the committed baseline:
+# compares a freshly measured BENCH_machine.json to the BENCH_machine.json
+# at HEAD and fails if machine_insts_per_sec regressed by more than 10%.
+# CI runs this right after scripts/bench.sh overwrites the working copy;
+# locally the same two commands reproduce the gate:
+#
+#   scripts/bench.sh && scripts/bench_check.sh
+#
+#   scripts/bench_check.sh [baseline.json] [measured.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+measured="${2:-BENCH_machine.json}"
+
+extract() {
+  awk -F': ' '/"machine_insts_per_sec"/ {gsub(/[,[:space:]]/, "", $2); print $2}' "$1"
+}
+
+if [[ -n "${1:-}" ]]; then
+  base="$(extract "$1")"
+else
+  base="$(git show HEAD:BENCH_machine.json | awk -F': ' '/"machine_insts_per_sec"/ {gsub(/[,[:space:]]/, "", $2); print $2}')"
+fi
+new="$(extract "$measured")"
+
+if [[ -z "$base" || -z "$new" ]]; then
+  echo "bench_check: could not extract machine_insts_per_sec (base='$base', new='$new')" >&2
+  exit 2
+fi
+
+awk -v base="$base" -v new="$new" 'BEGIN {
+  floor = base * 0.9
+  printf "machine_insts_per_sec: baseline %d, measured %d (floor %d)\n", base, new, floor
+  if (new + 0 < floor) {
+    printf "bench_check: FAIL — regressed more than 10%% vs committed baseline\n"
+    exit 1
+  }
+  printf "bench_check: OK\n"
+}'
