@@ -21,6 +21,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/contend"
@@ -80,11 +82,19 @@ func main() {
 		contendPath   = flag.String("contend-out", "", "write the final contention/migration status as JSON to this file (- = stdout)")
 		auditPath     = flag.String("audit-out", "", "write the conservation auditor's report as JSON to this file (- = stdout)")
 
+		sloOn       = flag.Bool("slo", false, "enable the SLO engine: multi-window burn-rate alerts over a deterministic time-series store")
+		sloWindow   = flag.Float64("slo-window", 0, "SLO evaluation-epoch length, seconds (0 = 0.5, or the -contend-window with -migrate)")
+		sloBoost    = flag.Int("slo-boost", 0, "extra per-epoch migration budget while the QoS burn alert fires (needs -migrate)")
+		alertsPath  = flag.String("alerts-out", "", "write the alert log (every SLO lifecycle transition) as JSON to this file (- = stdout)")
+		tsdbPath    = flag.String("tsdb-out", "", "write the full time-series store as JSON to this file (- = stdout)")
+		postmortDir = flag.String("postmortem-dir", "", "write each frozen postmortem bundle as JSON into this directory")
+
 		metricsPath = flag.String("metrics", "", "write the cluster telemetry rollup in Prometheus text format to this file (- = stdout)")
 		tracePath   = flag.String("trace", "", "write the merged event trace as JSONL to this file (- = stdout)")
 		spansPath   = flag.String("spans", "", "write the merged spans + events as Chrome trace-event JSON (Perfetto-loadable) to this file (- = stdout)")
 		profilePath = flag.String("profile", "", "write the fleet deep profile as folded stacks (flamegraph/speedscope input) to this file (- = stdout)")
-		serveAddr   = flag.String("serve", "", "serve /metrics, /trace, /profile, /healthz (plus /debug/pprof) on this address during and after the run, e.g. :8080")
+		serveAddr   = flag.String("serve", "", "serve /metrics, /trace, /profile, /slo, /alerts, /postmortem, /healthz (plus /debug/pprof) on this address during and after the run, e.g. :8080")
+		scrapeevery = flag.Int("scrape-interval", 0, "live-publisher snapshot deposit interval in scheduler quanta for -serve (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -149,25 +159,35 @@ func main() {
 		}
 	}
 
+	var sc *fleet.SLOConfig
+	if *sloOn || *alertsPath != "" || *tsdbPath != "" || *postmortDir != "" {
+		sc = &fleet.SLOConfig{
+			WindowSeconds: *sloWindow,
+			BoostBudget:   *sloBoost,
+		}
+	}
+
 	f, err := fleet.New(fleet.Config{
-		Servers:            *servers,
-		Instances:          *instances,
-		Webservice:         *webservice,
-		Mix:                mix,
-		System:             system,
-		Target:             *target,
-		Policy:             policy,
-		Seed:               *seed,
-		Engine:             *engine,
-		Workers:            *workers,
-		SoloSeconds:        *solo,
-		SettleSeconds:      *settle,
-		MeasureSeconds:     *measure,
-		Trace:              trace,
-		PhaseSpreadSeconds: *spread,
-		MaxSites:           *maxSites,
-		Chaos:              ch,
-		Migration:          mg,
+		Servers:              *servers,
+		Instances:            *instances,
+		Webservice:           *webservice,
+		Mix:                  mix,
+		System:               system,
+		Target:               *target,
+		Policy:               policy,
+		Seed:                 *seed,
+		Engine:               *engine,
+		Workers:              *workers,
+		SoloSeconds:          *solo,
+		SettleSeconds:        *settle,
+		MeasureSeconds:       *measure,
+		Trace:                trace,
+		PhaseSpreadSeconds:   *spread,
+		MaxSites:             *maxSites,
+		Chaos:                ch,
+		Migration:            mg,
+		SLO:                  sc,
+		ScrapeIntervalQuanta: *scrapeevery,
 	})
 	if err != nil {
 		failErr(err)
@@ -183,7 +203,7 @@ func main() {
 		if err != nil {
 			failErr(err)
 		}
-		fmt.Printf("serving /metrics /trace /profile /contend /audit /healthz on %s\n", ln.Addr())
+		fmt.Printf("serving /metrics /trace /profile /contend /audit /slo /alerts /postmortem /healthz on %s\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, f.Handler()); err != nil {
 				fail("serve: %v", err)
@@ -225,6 +245,12 @@ func main() {
 		fmt.Printf("  breaker trips:         %d\n", m.BreakerTrips)
 		fmt.Printf("  sensor faults:         %d corrupt, %d stale detector samples\n", m.CorruptSamples, m.StaleSamples)
 		fmt.Printf("  audit violations:      %d (conservation, occupancy, monotonicity, accounting)\n", m.AuditViolations)
+	}
+
+	if sc != nil {
+		fmt.Printf("\nSLO engine:\n")
+		fmt.Printf("  alerts:                %d fired, %d resolved\n", m.AlertsFired, m.AlertsResolved)
+		fmt.Printf("  postmortems:           %d bundles frozen\n", m.Postmortems)
 	}
 
 	fmt.Printf("\nper-app mean utilization:\n")
@@ -281,6 +307,37 @@ func main() {
 		if err != nil {
 			failErr(err)
 		}
+	}
+	if *alertsPath != "" {
+		err := writeExport(*alertsPath, func(w io.Writer) error {
+			if s := f.AlertLogJSON(); s != "" {
+				_, err := io.WriteString(w, s)
+				return err
+			}
+			_, err := io.WriteString(w, "{\"fired\": 0}\n")
+			return err
+		})
+		if err != nil {
+			failErr(err)
+		}
+	}
+	if *tsdbPath != "" {
+		if err := writeExport(*tsdbPath, f.WriteTSDB); err != nil {
+			failErr(err)
+		}
+	}
+	if *postmortDir != "" {
+		if err := os.MkdirAll(*postmortDir, 0o755); err != nil {
+			failErr(err)
+		}
+		for _, b := range f.Postmortems() {
+			name := fmt.Sprintf("postmortem_%03d_%s.json", b.Seq, strings.ReplaceAll(b.Reason, ":", "_"))
+			path := filepath.Join(*postmortDir, name)
+			if err := os.WriteFile(path, []byte(b.JSON()), 0o644); err != nil {
+				failErr(err)
+			}
+		}
+		fmt.Printf("wrote %d postmortem bundles to %s\n", len(f.Postmortems()), *postmortDir)
 	}
 	if *serveAddr != "" {
 		fmt.Println("run complete; still serving (ctrl-c to exit)")

@@ -29,6 +29,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/progbin"
 	"repro/internal/sampling"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -133,6 +134,16 @@ type Config struct {
 	// least-loaded healthy servers after a blackout. Nil keeps placement
 	// static (the PRs-1–5 behavior, bit-for-bit).
 	Migration *MigrationConfig
+	// SLO enables the judgment layer (internal/slo): the run advances in
+	// decision epochs (shared with Migration's when both are on), a tsdb
+	// store samples every registered metric at each barrier, declarative
+	// SLOs evaluate as multi-window burn-rate rules, and a flight recorder
+	// freezes postmortem bundles when alerts fire. Nil evaluates nothing.
+	SLO *SLOConfig
+	// ScrapeIntervalQuanta is how often each server deposits a live
+	// snapshot for the -serve scrape surface, in machine quanta
+	// (default 64). Smaller = fresher scrapes, more snapshot copying.
+	ScrapeIntervalQuanta int
 	// Telemetry, when non-nil, receives the cluster rollup: every server
 	// simulates with its own single-writer registry (machine, core, pc3d
 	// and supervise all report into it), and after the workers join the
@@ -179,6 +190,14 @@ func (c Config) withDefaults() Config {
 	if c.Migration != nil {
 		mg := c.Migration.withDefaults(c)
 		c.Migration = &mg
+	}
+	if c.SLO != nil {
+		// After Migration's defaults: the SLO window rides its barriers.
+		sc := c.SLO.withDefaults(c)
+		c.SLO = &sc
+	}
+	if c.ScrapeIntervalQuanta <= 0 {
+		c.ScrapeIntervalQuanta = publishEveryQuanta
 	}
 	return c
 }
@@ -351,6 +370,14 @@ type Metrics struct {
 	// observed (0 = the run provably never lost or duplicated an
 	// instance).
 	AuditViolations int
+
+	// SLO aggregates (zero when Config.SLO is nil).
+
+	// AlertsFired / AlertsResolved count burn-rate alert lifecycle edges;
+	// Postmortems counts flight-recorder bundles frozen during the run.
+	AlertsFired    int
+	AlertsResolved int
+	Postmortems    int
 }
 
 // calibration holds the immutable solo measurements every server
@@ -389,11 +416,20 @@ type Fleet struct {
 	// published snapshot (served at /contend, exported after Run).
 	contendMu   sync.Mutex
 	contendStat *ContendStatus
-	// audit is the conservation auditor (non-nil once runMigrated starts);
-	// auditStat is its latest published snapshot, guarded by contendMu
-	// like contendStat (served at /audit, returned by AuditReport).
+	// audit is the conservation auditor (non-nil once the migration epoch
+	// loop starts); auditStat is its latest published snapshot, guarded by
+	// contendMu like contendStat (served at /audit, returned by
+	// AuditReport).
 	audit     *auditor
 	auditStat *AuditReport
+	// sloObs is the SLO observer (non-nil once the epoch loop starts with
+	// Config.SLO set); the rendered snapshots below are its per-barrier
+	// publications, guarded by contendMu (served at /slo, /alerts,
+	// /postmortem).
+	sloObs       *sloObserver
+	sloStatJSON  string
+	alertLogJSON string
+	sloBundles   []*slo.Bundle
 }
 
 // New validates the configuration and builds a fleet.
@@ -510,6 +546,8 @@ func (f *Fleet) Run() (Metrics, error) {
 	if f.tel == nil {
 		f.tel = telemetry.New(telemetry.Config{})
 	}
+	f.tel.Gauge("fleet", "scrape_interval_quanta", "live-publisher snapshot deposit interval in scheduler quanta").
+		Set(float64(f.cfg.ScrapeIntervalQuanta))
 	// One single-writer registry per server; workers write disjoint slots.
 	f.serverTel = make([]*telemetry.Registry, f.cfg.Servers)
 	f.serverProf = make([]map[string]*sampling.DeepProfile, f.cfg.Servers)
@@ -523,13 +561,13 @@ func (f *Fleet) Run() (Metrics, error) {
 		return Metrics{}, err
 	}
 	horizon := f.cfg.SettleSeconds + f.cfg.MeasureSeconds
-	if f.cfg.Migration != nil {
+	if f.cfg.Migration != nil || f.cfg.SLO != nil {
 		// Advance the fleet in decision epochs: every server stops at the
-		// epoch boundary, the (single-threaded) coordinator reads counters
-		// and applies migrations, then the next epoch begins. Decisions
-		// are pure functions of (seed, epoch counters), so the segmented
-		// timeline is bit-identical at any worker count.
-		err = f.runMigrated(sims, horizon, &plan)
+		// epoch boundary, the (single-threaded) coordinator reads counters,
+		// applies migrations and evaluates SLOs, then the next epoch
+		// begins. Decisions are pure functions of (seed, epoch counters),
+		// so the segmented timeline is bit-identical at any worker count.
+		err = f.runEpochs(sims, horizon, &plan)
 	} else {
 		err = f.forEach(f.cfg.Servers, func(i int) error {
 			return sims[i].advanceTo(horizon)
@@ -563,6 +601,46 @@ func (f *Fleet) Run() (Metrics, error) {
 		f.tel.MergeFrom(sr, i)
 	}
 	return f.aggregate(results, plan), nil
+}
+
+// runEpochs drives the shared decision-epoch loop: every server advances
+// to the barrier across the worker pool, then the single-threaded
+// coordinator section runs — first the migration step (when on), then the
+// SLO step (when on), which therefore observes the epoch's moves. The two
+// always share one epoch clock; with migration on, its window wins (see
+// SLOConfig.withDefaults).
+func (f *Fleet) runEpochs(sims []*serverSim, horizon float64, plan *chaosPlan) error {
+	var g *migrator
+	window := 0.0
+	if f.cfg.Migration != nil {
+		g = f.newMigrator(sims, horizon, plan)
+		window = g.mc.WindowSeconds
+	}
+	if f.cfg.SLO != nil {
+		f.sloObs = f.newSLOObserver(sims, horizon)
+		window = f.cfg.SLO.WindowSeconds
+	}
+	n := len(sims)
+	for e := 1; ; e++ {
+		t := float64(e) * window
+		if t >= horizon-1e-9 {
+			// The final partial segment runs in finish(); no decision at
+			// the horizon itself.
+			break
+		}
+		if err := f.forEach(n, func(i int) error { return sims[i].advanceTo(t) }); err != nil {
+			return err
+		}
+		if g != nil {
+			if err := g.barrier(e, t); err != nil {
+				return err
+			}
+		}
+		if f.sloObs != nil {
+			f.sloObs.barrier(e, t)
+		}
+	}
+	return nil
 }
 
 // calibrate measures solo rates, contentiousness and webservice capacity
@@ -720,6 +798,11 @@ func (f *Fleet) aggregate(results []ServerResult, plan chaosPlan) Metrics {
 	if f.audit != nil {
 		mt.AuditViolations = len(f.audit.rep.Violations)
 		f.tel.Counter("fleet", "audit_violations_total", "invariant breaches the conservation auditor observed").Add(uint64(mt.AuditViolations))
+	}
+	if f.sloObs != nil {
+		mt.AlertsFired = int(f.tel.CounterValue("slo", "alerts_fired_total"))
+		mt.AlertsResolved = int(f.tel.CounterValue("slo", "alerts_resolved_total"))
+		mt.Postmortems = int(f.tel.CounterValue("slo", "postmortems_total"))
 	}
 	var utils, qs, degQ, degU []float64
 	availSum := 0.0

@@ -287,10 +287,11 @@ func (g *migrator) emitBreaker(t float64, cause string) {
 	})
 }
 
-// runMigrated drives the decision-epoch loop described in the package
-// comment above. sims are already constructed and at t=0; plan receives
-// the coordinator's dynamic re-placement counts.
-func (f *Fleet) runMigrated(sims []*serverSim, horizon float64, plan *chaosPlan) error {
+// newMigrator builds the decision-epoch coordinator described in the
+// package comment above; runEpochs drives its barrier once per epoch. sims
+// are already constructed and at t=0; plan receives the coordinator's
+// dynamic re-placement counts.
+func (f *Fleet) newMigrator(sims []*serverSim, horizon float64, plan *chaosPlan) *migrator {
 	mc := *f.cfg.Migration
 	n := len(sims)
 	mcfg := sims[0].m.Config()
@@ -320,22 +321,15 @@ func (f *Fleet) runMigrated(sims []*serverSim, horizon float64, plan *chaosPlan)
 	}
 	g.aud = newAuditor(f, sims)
 	f.audit = g.aud
-	return g.run()
+	return g
 }
 
-func (g *migrator) run() error {
+// barrier is the coordinator's single-threaded epoch step; runEpochs calls
+// it after every server has advanced to the barrier. Index order,
+// deterministic.
+func (g *migrator) barrier(e int, t float64) error {
 	n := len(g.sims)
-	for e := 1; ; e++ {
-		t := float64(e) * g.mc.WindowSeconds
-		if t >= g.horizon-1e-9 {
-			// The final partial segment runs in finish(); no decision at
-			// the horizon itself.
-			break
-		}
-		if err := g.f.forEach(n, func(i int) error { return g.sims[i].advanceTo(t) }); err != nil {
-			return err
-		}
-		// Coordinator section: single-threaded, index order, deterministic.
+	{
 		g.replaceDead(t)
 		samples, corruptEpoch := g.sample(e, t)
 		verdicts := g.det.Observe(samples)
@@ -371,14 +365,22 @@ func (g *migrator) run() error {
 		}
 		g.gBreaker.Set(float64(g.brk.State()))
 
+		// The breaker admits moves; a firing QoS burn alert (previous
+		// epoch's evaluation — the SLO step runs after this one) raises
+		// the admitted budget so the control loop reacts harder while the
+		// fleet burns error budget. The breaker still gates everything: an
+		// open breaker admits zero moves, boost or not.
+		budget := g.brk.Budget(g.mc.BudgetPerEpoch)
+		if budget > 0 {
+			budget += g.f.boostBudget()
+		}
 		spDecide := g.f.tel.StartSpan("contend.decide", g.cyc(t), 0)
 		g.f.tel.SpanAttrs(spDecide,
 			telemetry.Num("epoch", float64(g.det.Epoch())),
 			telemetry.Num("contended", float64(g.det.Contended())),
-			telemetry.Num("budget", float64(g.brk.Budget(g.mc.BudgetPerEpoch))))
+			telemetry.Num("budget", float64(budget)))
 		var moves []contend.Move
 		g.spares = nil
-		budget := g.brk.Budget(g.mc.BudgetPerEpoch)
 		if budget > 0 && t+g.mc.BlackoutSeconds < g.horizon {
 			var cands []contend.Candidate
 			targets := make([]contend.Target, 0, n)

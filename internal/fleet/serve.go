@@ -93,7 +93,16 @@ func (f *Fleet) Snapshot() (*telemetry.Registry, map[string]*sampling.DeepProfil
 //	/audit    — JSON conservation-auditor report (per-epoch instance
 //	            census + invariant violations); {"epochs_checked": 0}
 //	            until the migration loop publishes
-//	/healthz  — JSON liveness: servers, how many have published
+//	/slo      — JSON SLO status (per-spec state, burn rate, since-epoch);
+//	            {"epoch": 0} until the SLO engine publishes
+//	/alerts   — JSON alert log (every lifecycle transition in epoch order);
+//	            {"fired": 0} until the SLO engine publishes
+//	/postmortem — JSON array of frozen flight-recorder bundles; [] until
+//	            the first capture
+//	/healthz  — JSON liveness: servers, how many have published; status
+//	            flips to "degraded" while the migration circuit breaker is
+//	            open or once the conservation auditor has recorded a
+//	            violation
 //
 // plus the standard net/http/pprof handlers under /debug/pprof/ for the
 // simulator process itself. Call before Run; scraping during the run
@@ -141,6 +150,39 @@ func (f *Fleet) Handler() http.Handler {
 		}
 		rep.WriteJSON(w) //nolint:errcheck // client went away
 	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s := f.SLOStatusJSON(); s != "" {
+			io.WriteString(w, s) //nolint:errcheck // client went away
+			return
+		}
+		// SLO off, or no barrier yet.
+		io.WriteString(w, "{\"epoch\": 0}\n") //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s := f.AlertLogJSON(); s != "" {
+			io.WriteString(w, s) //nolint:errcheck // client went away
+			return
+		}
+		io.WriteString(w, "{\"fired\": 0}\n") //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/postmortem", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		bundles := f.Postmortems()
+		io.WriteString(w, "[") //nolint:errcheck // client went away
+		for i, b := range bundles {
+			if i > 0 {
+				io.WriteString(w, ",") //nolint:errcheck // client went away
+			}
+			io.WriteString(w, "\n")     //nolint:errcheck // client went away
+			io.WriteString(w, b.JSON()) //nolint:errcheck // client went away
+		}
+		if len(bundles) > 0 {
+			io.WriteString(w, "\n") //nolint:errcheck // client went away
+		}
+		io.WriteString(w, "]\n") //nolint:errcheck // client went away
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		f.live.mu.Lock()
 		published := 0
@@ -150,8 +192,14 @@ func (f *Fleet) Handler() http.Handler {
 			}
 		}
 		f.live.mu.Unlock()
+		status, reason := f.health()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"servers\":%d,\"published\":%d}\n", f.cfg.Servers, published)
+		if reason != "" {
+			fmt.Fprintf(w, "{\"status\":%q,\"reason\":%q,\"servers\":%d,\"published\":%d}\n",
+				status, reason, f.cfg.Servers, published)
+			return
+		}
+		fmt.Fprintf(w, "{\"status\":%q,\"servers\":%d,\"published\":%d}\n", status, f.cfg.Servers, published)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -159,6 +207,21 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// health reads the published coordinator state and reports "degraded"
+// (with a reason) when the migration circuit breaker is open or the
+// conservation auditor has recorded any violation; "ok" otherwise.
+func (f *Fleet) health() (status, reason string) {
+	f.contendMu.Lock()
+	defer f.contendMu.Unlock()
+	if f.contendStat != nil && f.contendStat.BreakerState == "open" {
+		return "degraded", "circuit breaker open"
+	}
+	if f.auditStat != nil && len(f.auditStat.Violations) > 0 {
+		return "degraded", "audit violations"
+	}
+	return "ok", ""
 }
 
 // WriteProfile writes the end-of-run fleet deep profile as folded stacks,

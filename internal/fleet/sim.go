@@ -134,7 +134,7 @@ func newServerSim(f *Fleet, idx int, app string, plan serverPlan) (*serverSim, e
 	if f.live != nil {
 		m.AddAgent(&livePublisher{
 			live: f.live, idx: idx, reg: reg, prof: s.profSnapshot,
-			step: uint64(publishEveryQuanta) * m.Config().QuantumCycles,
+			step: uint64(cfg.ScrapeIntervalQuanta) * m.Config().QuantumCycles,
 		})
 	}
 

@@ -50,6 +50,7 @@ func Artifacts() []Artifact {
 		{Key: "figchaos", Name: "Chaos sweep (fault injection)", Run: one((*Runner).FigureChaos)},
 		{Key: "figmigrate", Name: "Migration sweep (contention-driven live migration)", Run: one((*Runner).FigureMigrate)},
 		{Key: "figchaosmigrate", Name: "Chaos-migration soak (transactional moves, breaker, audit)", Run: one((*Runner).FigureChaosMigrate)},
+		{Key: "figslo", Name: "SLO burn-rate alerting vs static thresholds (load-step detection)", Run: one((*Runner).FigureSLO)},
 		{Key: "figtimeline", Name: "Timeline (event trace)", Run: one((*Runner).FigureTimeline)},
 		{Key: "figspans", Name: "Span trees (causal trace)", Run: one((*Runner).FigureSpans)},
 	}

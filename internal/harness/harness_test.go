@@ -380,8 +380,8 @@ func TestFigure3Shape(t *testing.T) {
 
 func TestArtifactsRegistry(t *testing.T) {
 	arts := Artifacts()
-	if len(arts) != 26 {
-		t.Errorf("artifacts = %d, want 26", len(arts))
+	if len(arts) != 27 {
+		t.Errorf("artifacts = %d, want 27", len(arts))
 	}
 	if _, err := ArtifactByKey("figchaos"); err != nil {
 		t.Errorf("figchaos missing: %v", err)
@@ -391,6 +391,9 @@ func TestArtifactsRegistry(t *testing.T) {
 	}
 	if _, err := ArtifactByKey("figchaosmigrate"); err != nil {
 		t.Errorf("figchaosmigrate missing: %v", err)
+	}
+	if _, err := ArtifactByKey("figslo"); err != nil {
+		t.Errorf("figslo missing: %v", err)
 	}
 	if _, err := ArtifactByKey("figtimeline"); err != nil {
 		t.Errorf("figtimeline missing: %v", err)

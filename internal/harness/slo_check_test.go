@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSLOBurnRateBeatsStaticThreshold is the acceptance check behind
+// figslo: on the load-step fleet, the multi-window burn-rate policy must
+// detect the sustained overload strictly earlier than the deployable
+// static baseline (the consecutive-epoch-damped threshold) while paging
+// zero times on the brownout transient — and the naive static threshold
+// must demonstrate why damping is needed in the first place by paging on
+// the transient. All three policies watch the same measured QoS SLI
+// series from one fleet run, so the comparison is apples-to-apples.
+func TestSLOBurnRateBeatsStaticThreshold(t *testing.T) {
+	cmp, err := shared.RunSLOComparison()
+	if err != nil {
+		t.Fatalf("RunSLOComparison: %v", err)
+	}
+	byName := map[string]SLODetection{}
+	for _, d := range cmp.Detections {
+		byName[d.Spec] = d
+	}
+	burn, ok := byName["burn-multiwindow"]
+	if !ok {
+		t.Fatal("burn-multiwindow policy missing from comparison")
+	}
+	naive, ok := byName["static-naive"]
+	if !ok {
+		t.Fatal("static-naive policy missing from comparison")
+	}
+	damped, ok := byName["static-damped"]
+	if !ok {
+		t.Fatal("static-damped policy missing from comparison")
+	}
+
+	// The burn-rate policy detects the step cleanly: no false pages on the
+	// brownout, detection not missed.
+	if burn.FalsePositives != 0 {
+		t.Errorf("burn-multiwindow paged %d times on the brownout transient, want 0", burn.FalsePositives)
+	}
+	if burn.DetectionEpoch == 0 {
+		t.Fatal("burn-multiwindow never detected the load step")
+	}
+	// The naive threshold is the cautionary tale: it pages on the transient.
+	if naive.FalsePositives == 0 {
+		t.Error("static-naive did not page on the brownout transient; the baseline has lost its teeth")
+	}
+	// Damping fixes the naive rule's false pages...
+	if damped.FalsePositives != 0 {
+		t.Errorf("static-damped paged %d times on the brownout transient, want 0", damped.FalsePositives)
+	}
+	if damped.DetectionEpoch == 0 {
+		t.Fatal("static-damped never detected the load step")
+	}
+	// ...but taxes detection: the burn-rate policy must beat it outright.
+	// This is the headline asymmetry figslo exists to pin.
+	if burn.DetectionEpoch >= damped.DetectionEpoch {
+		t.Errorf("burn-multiwindow detected at epoch %d, static-damped at %d; want strictly earlier",
+			burn.DetectionEpoch, damped.DetectionEpoch)
+	}
+	// Every firing edge froze a flight-recorder bundle.
+	if cmp.Postmortems == 0 {
+		t.Error("no postmortem bundles were frozen despite firing alerts")
+	}
+	if cmp.Metrics.AlertsFired == 0 {
+		t.Error("metrics report zero alerts fired")
+	}
+}
+
+// TestSLOComparisonDeterministic re-runs the figslo fleet at a different
+// worker count and demands identical detections: alerting verdicts are
+// part of the determinism contract, not a best-effort overlay.
+func TestSLOComparisonDeterministic(t *testing.T) {
+	base, err := shared.RunSLOComparison()
+	if err != nil {
+		t.Fatalf("RunSLOComparison: %v", err)
+	}
+	sc := BenchScale()
+	sc.Workers = 8
+	again, err := NewRunner(sc).RunSLOComparison()
+	if err != nil {
+		t.Fatalf("RunSLOComparison (8 workers): %v", err)
+	}
+	if !reflect.DeepEqual(base.Detections, again.Detections) {
+		t.Errorf("detections diverge across worker counts:\n 1: %+v\n 8: %+v",
+			base.Detections, again.Detections)
+	}
+	if base.Postmortems != again.Postmortems {
+		t.Errorf("postmortem counts diverge: %d vs %d", base.Postmortems, again.Postmortems)
+	}
+	if !reflect.DeepEqual(base.Metrics, again.Metrics) {
+		t.Error("fleet metrics diverge across worker counts")
+	}
+}
+
+// TestFigureSLO checks the rendered artifact: one row per policy, and the
+// verdict column tells the story (clean detection for burn-rate, a
+// transient page for the naive threshold).
+func TestFigureSLO(t *testing.T) {
+	tab, err := shared.FigureSLO()
+	if err != nil {
+		t.Fatalf("FigureSLO: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tab.Rows))
+	}
+	verdicts := map[string]string{}
+	for _, row := range tab.Rows {
+		verdicts[row[0]] = row[len(row)-1]
+	}
+	if v := verdicts["burn-multiwindow"]; v != "clean detection" {
+		t.Errorf("burn-multiwindow verdict = %q, want \"clean detection\"", v)
+	}
+	if v := verdicts["static-naive"]; v != "fast but pages on transients" {
+		t.Errorf("static-naive verdict = %q, want \"fast but pages on transients\"", v)
+	}
+	if v := verdicts["static-damped"]; v != "clean detection" {
+		t.Errorf("static-damped verdict = %q, want \"clean detection\"", v)
+	}
+}

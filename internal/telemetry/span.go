@@ -163,6 +163,19 @@ func (r *Registry) Spans() []Span {
 	return out
 }
 
+// OpenSpans returns the spans still open (End == 0) in canonical order —
+// the in-flight operation tree at export time. The flight recorder snapshots
+// this to show what the system was in the middle of when an alert fired.
+func (r *Registry) OpenSpans() []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.End == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Span returns the span with the given ID.
 func (r *Registry) Span(id SpanID) (Span, bool) {
 	if r == nil || r.spans == nil {

@@ -317,3 +317,73 @@ func TestDroppedEventsAcrossMerge(t *testing.T) {
 		t.Errorf("merged events = %d, want 4", got)
 	}
 }
+
+// TestCriticalPathOverFleetMergedSpans: satellite coverage — after a fleet
+// rollup remaps per-server span IDs to (server+1)<<32|local, CriticalPath
+// must still walk the right tree: parent links survive the remap, and the
+// longest-child rule picks within one server's tree without leaking into a
+// sibling server's spans.
+func TestCriticalPathOverFleetMergedSpans(t *testing.T) {
+	mkServer := func(rootDur, kidADur, kidBDur uint64) *Registry {
+		r := New(Config{})
+		root := r.StartSpan("migrate.move", 0, 0)
+		a := r.StartSpan("migrate.detach", 1, root)
+		r.EndSpan(a, 1+kidADur)
+		b := r.StartSpan("migrate.land", 2, root)
+		r.EndSpan(b, 2+kidBDur)
+		r.EndSpan(root, rootDur)
+		return r
+	}
+	agg := New(Config{})
+	agg.MergeFrom(mkServer(100, 5, 50), 0) // server 0: land dominates
+	agg.MergeFrom(mkServer(100, 80, 3), 1) // server 1: detach dominates
+	root0 := SpanID(1<<32 | 1)
+	root1 := SpanID(2<<32 | 1)
+	p0 := agg.CriticalPath(root0)
+	if len(p0) != 2 || p0[1].Name != "migrate.land" || p0[1].Server != 0 {
+		t.Fatalf("server-0 path = %+v, want root→migrate.land on server 0", p0)
+	}
+	if p0[1].ID != SpanID(1<<32|3) {
+		t.Errorf("server-0 leaf ID = %d, want %d", p0[1].ID, SpanID(1<<32|3))
+	}
+	p1 := agg.CriticalPath(root1)
+	if len(p1) != 2 || p1[1].Name != "migrate.detach" || p1[1].Server != 1 {
+		t.Fatalf("server-1 path = %+v, want root→migrate.detach on server 1", p1)
+	}
+	// Merging the same registries twice yields the same paths — remapped IDs
+	// are a pure function of (server, local ID).
+	agg2 := New(Config{})
+	agg2.MergeFrom(mkServer(100, 5, 50), 0)
+	agg2.MergeFrom(mkServer(100, 80, 3), 1)
+	q0 := agg2.CriticalPath(root0)
+	if len(q0) != len(p0) || q0[1].ID != p0[1].ID {
+		t.Error("re-merged registry walked a different critical path")
+	}
+}
+
+// TestOpenSpans: only spans with End == 0 surface, in canonical order, and
+// the set survives a fleet merge.
+func TestOpenSpans(t *testing.T) {
+	r := New(Config{})
+	a := r.StartSpan("pc3d.search", 10, 0)
+	b := r.StartSpan("core.compile", 20, a)
+	r.EndSpan(b, 30)
+	r.StartSpan("supervise.recovery", 5, 0) // left open
+	open := r.OpenSpans()
+	if len(open) != 2 {
+		t.Fatalf("open spans = %d, want 2", len(open))
+	}
+	if open[0].Name != "supervise.recovery" || open[1].Name != "pc3d.search" {
+		t.Errorf("open order = %s, %s", open[0].Name, open[1].Name)
+	}
+	agg := New(Config{})
+	agg.MergeFrom(r, 3)
+	mopen := agg.OpenSpans()
+	if len(mopen) != 2 || mopen[1].Server != 3 {
+		t.Errorf("merged open spans = %+v", mopen)
+	}
+	var nilr *Registry
+	if nilr.OpenSpans() != nil {
+		t.Error("nil registry produced open spans")
+	}
+}

@@ -299,6 +299,83 @@ func (r *Registry) GaugeValue(subsystem, name string) float64 {
 	return r.gauges[metricName(subsystem, name)].Value()
 }
 
+// Merge folds src's observations into h bucket-wise. Buckets are matched
+// by position when the bound sets have equal length; otherwise src's
+// observations fold into the +Inf bucket (re-observing at bound midpoints
+// would be lossy and non-deterministic). Nil-safe in both positions.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	if len(h.bounds) == len(src.bounds) {
+		for i, n := range src.counts {
+			h.counts[i] += n
+		}
+	} else {
+		for _, n := range src.counts {
+			h.counts[len(h.counts)-1] += n
+		}
+	}
+	h.sum += src.sum
+	h.n += src.n
+}
+
+// Clone deep-copies the histogram (nil in, nil out).
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum, n: h.n,
+	}
+}
+
+// sortedKeys returns map keys in name order, the canonical iteration order
+// for every enumeration and export.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EachCounter calls fn for every registered counter in metric-name order.
+// Names are the full exported form (protean_<subsystem>_<name>).
+func (r *Registry) EachCounter(fn func(name string, v uint64)) {
+	if r == nil {
+		return
+	}
+	for _, k := range sortedKeys(r.counters) {
+		fn(k, r.counters[k].v)
+	}
+}
+
+// EachGauge calls fn for every registered gauge in metric-name order.
+func (r *Registry) EachGauge(fn func(name string, v float64)) {
+	if r == nil {
+		return
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		fn(k, r.gauges[k].v)
+	}
+}
+
+// EachHistogram calls fn for every registered histogram in metric-name
+// order. The histogram is the live instrument — callers must not mutate it
+// (Clone first to merge or fold).
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	for _, k := range sortedKeys(r.hists) {
+		fn(k, r.hists[k])
+	}
+}
+
 // MergeFrom folds src into r: counters and gauges add, histograms add
 // bucket-wise (buckets are unified by upper bound), and src's events are
 // appended with their Server field stamped to server. Call in a fixed
@@ -334,19 +411,7 @@ func (r *Registry) MergeFrom(src *Registry, server int) {
 			r.hists[full] = dst
 			r.setHelp(full, src.help[full])
 		}
-		if len(dst.bounds) == len(h.bounds) {
-			for i, n := range h.counts {
-				dst.counts[i] += n
-			}
-		} else {
-			// Mismatched buckets: re-observe at bound midpoints is lossy;
-			// fold everything into +Inf to stay deterministic.
-			for _, n := range h.counts {
-				dst.counts[len(dst.counts)-1] += n
-			}
-		}
-		dst.sum += h.sum
-		dst.n += h.n
+		dst.Merge(h)
 	}
 	if r.trace != nil && src.trace != nil {
 		for _, e := range src.trace.events() {

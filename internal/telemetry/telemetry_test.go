@@ -188,3 +188,116 @@ func TestHistogramBucketEdges(t *testing.T) {
 		}
 	}
 }
+
+// TestEnumerationSortedByName: EachCounter/EachGauge/EachHistogram visit
+// instruments in metric-name order — the tsdb samples through these, so the
+// order is part of the determinism contract.
+func TestEnumerationSortedByName(t *testing.T) {
+	r := New(Config{})
+	r.Counter("z", "last_total", "").Add(1)
+	r.Counter("a", "first_total", "").Add(2)
+	r.Gauge("m", "mid", "").Set(3)
+	r.Histogram("b", "h", "", []float64{1}).Observe(0.5)
+	var cs, gs, hs []string
+	r.EachCounter(func(name string, v uint64) { cs = append(cs, name) })
+	r.EachGauge(func(name string, v float64) { gs = append(gs, name) })
+	r.EachHistogram(func(name string, h *Histogram) { hs = append(hs, name) })
+	if len(cs) != 2 || cs[0] != "protean_a_first_total" || cs[1] != "protean_z_last_total" {
+		t.Errorf("counters out of order: %v", cs)
+	}
+	if len(gs) != 1 || gs[0] != "protean_m_mid" {
+		t.Errorf("gauges = %v", gs)
+	}
+	if len(hs) != 1 || hs[0] != "protean_b_h" {
+		t.Errorf("histograms = %v", hs)
+	}
+	var nilr *Registry
+	nilr.EachCounter(func(string, uint64) { t.Error("nil registry enumerated") })
+	nilr.EachGauge(func(string, float64) { t.Error("nil registry enumerated") })
+	nilr.EachHistogram(func(string, *Histogram) { t.Error("nil registry enumerated") })
+}
+
+// TestHistogramMergeClone: Clone is deep, Merge adds bucket-wise when bound
+// sets match and folds into +Inf when they don't.
+func TestHistogramMergeClone(t *testing.T) {
+	r := New(Config{})
+	a := r.Histogram("x", "a", "", []float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	cl := a.Clone()
+	a.Observe(0.5)
+	if cl.Count() != 2 {
+		t.Errorf("clone count = %d, want 2 (deep copy)", cl.Count())
+	}
+	b := r.Histogram("x", "b", "", []float64{1, 2})
+	b.Observe(1.8)
+	cl.Merge(b)
+	if cl.Count() != 3 || cl.Sum() != 0.5+1.5+1.8 {
+		t.Errorf("merged count=%d sum=%v", cl.Count(), cl.Sum())
+	}
+	// Mismatched bounds fold into +Inf: the quantile collapses to the top
+	// finite bound once most mass sits in the overflow bucket.
+	c := r.Histogram("x", "c", "", []float64{10, 20, 30})
+	c.Observe(5)
+	c.Observe(15)
+	c.Observe(25)
+	cl.Merge(c)
+	if cl.Count() != 6 {
+		t.Errorf("fold-merged count = %d, want 6", cl.Count())
+	}
+	if got := cl.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) after fold = %v, want 2 (overflow clamps to top bound)", got)
+	}
+	var hnil *Histogram
+	hnil.Merge(a) // must not panic
+	a.Merge(nil)
+	if hnil.Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+// TestQuantileSingleBucketAndExtremes: the edge cases the SLO quantile
+// series lean on — a one-bucket histogram interpolates within [0, bound],
+// and q=0 / q=1 return the distribution's extremes.
+func TestQuantileSingleBucketAndExtremes(t *testing.T) {
+	r := New(Config{})
+	h := r.Histogram("x", "single", "", []float64{4})
+	h.Observe(1)
+	h.Observe(3)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0 (lower edge of only bucket)", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4 (upper edge of only bucket)", got)
+	}
+	if got := h.Quantile(0.5); got <= 0 || got > 4 {
+		t.Errorf("Quantile(0.5) = %v, want within (0,4]", got)
+	}
+	// q outside [0,1] clamps rather than extrapolating.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(5) != h.Quantile(1) {
+		t.Error("out-of-range q should clamp to [0,1]")
+	}
+}
+
+// TestEventsTail: the flight recorder's trace-tail snapshot returns the last
+// n events in canonical order.
+func TestEventsTail(t *testing.T) {
+	r := New(Config{})
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{At: uint64(10 + i), Kind: EvDispatch, Func: "f"})
+	}
+	tail := r.EventsTail(2)
+	if len(tail) != 2 || tail[0].At != 13 || tail[1].At != 14 {
+		t.Errorf("tail = %+v, want events at 13,14", tail)
+	}
+	if got := r.EventsTail(0); len(got) != 5 {
+		t.Errorf("EventsTail(0) = %d events, want all 5", len(got))
+	}
+	if got := r.EventsTail(99); len(got) != 5 {
+		t.Errorf("EventsTail(99) = %d events, want all 5", len(got))
+	}
+	var nilr *Registry
+	if nilr.EventsTail(3) != nil {
+		t.Error("nil registry produced a tail")
+	}
+}

@@ -152,6 +152,17 @@ func (r *Registry) Events() []Event {
 	return ev
 }
 
+// EventsTail returns the last n events in canonical order (all of them when
+// n exceeds the buffer). The flight recorder uses this to freeze the trace
+// tail into postmortem bundles without copying the whole ring.
+func (r *Registry) EventsTail(n int) []Event {
+	ev := r.Events()
+	if n <= 0 || len(ev) <= n {
+		return ev
+	}
+	return ev[len(ev)-n:]
+}
+
 // DroppedEvents reports how many events the bounded buffer discarded.
 func (r *Registry) DroppedEvents() uint64 {
 	if r == nil || r.trace == nil {
